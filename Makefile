@@ -1,0 +1,40 @@
+# vqoe — reproduction of "Measuring Video QoE from Encrypted Traffic" (IMC 2016)
+
+GO ?= go
+
+.PHONY: all build test vet bench cover report report-quick figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race-enabled pass over the concurrent packages
+test-race:
+	$(GO) test -race ./internal/pipeline/ ./internal/ml/ ./internal/workload/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# regenerate the paper-vs-measured comparison (about a minute)
+report:
+	$(GO) run ./cmd/qoereport > EXPERIMENTS.md
+
+report-quick:
+	$(GO) run ./cmd/qoereport -quick
+
+# standalone HTML with the reproduced figures as SVG
+figures:
+	$(GO) run ./cmd/qoereport -quick -html figures.html > /dev/null
+
+clean:
+	rm -f figures.html *.model *.pcap *.pcap.hosts

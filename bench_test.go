@@ -1,0 +1,371 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations for the design choices listed in
+// DESIGN.md. Each benchmark measures the pipeline stage it names and
+// reports the headline quantity of the corresponding table/figure as a
+// custom metric (acc% etc.), so `go test -bench=. -benchmem` doubles
+// as the reproduction summary at quick scale. The cmd/qoereport tool
+// produces the full-scale comparison.
+package vqoe
+
+import (
+	"sync"
+	"testing"
+
+	"vqoe/internal/core"
+	"vqoe/internal/experiments"
+	"vqoe/internal/ml"
+	"vqoe/internal/packet"
+	"vqoe/internal/sessionizer"
+	"vqoe/internal/stats"
+	"vqoe/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+// suite returns the shared quick-scale suite with corpora and models
+// pre-built so individual benchmarks measure only their own stage.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.QuickScale())
+		// materialize corpora and models outside benchmark timing
+		benchSuite.Cleartext()
+		benchSuite.HAS()
+		benchSuite.Study()
+		if _, _, err := benchSuite.StallModel(); err != nil {
+			panic(err)
+		}
+		if _, _, err := benchSuite.RepModel(); err != nil {
+			panic(err)
+		}
+	})
+	return benchSuite
+}
+
+func BenchmarkTable2StallFeatureSelection(b *testing.B) {
+	s := suite(b)
+	ds := core.BuildStallDataset(s.Cleartext())
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(ml.CFSSelect(ds, ml.CFSConfig{MaxStale: 5}))
+	}
+	b.ReportMetric(float64(n), "features")
+}
+
+func BenchmarkTable3StallCleartext(b *testing.B) {
+	s := suite(b)
+	_, rep, err := s.StallModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := core.BuildStallDataset(s.Cleartext())
+	sel := make([]string, len(rep.Selected))
+	for i, f := range rep.Selected {
+		sel[i] = f.Name
+	}
+	reduced, err := ds.SelectFeatures(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		acc = cv.Accuracy()
+	}
+	b.ReportMetric(100*acc, "acc%")
+}
+
+func BenchmarkTable5RepFeatureSelection(b *testing.B) {
+	s := suite(b)
+	ds := core.BuildRepDataset(s.HAS())
+	// selection sample as in training
+	bal := ds
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(ml.CFSSelect(bal, ml.CFSConfig{MaxStale: 5}))
+	}
+	b.ReportMetric(float64(n), "features")
+}
+
+func BenchmarkTable6RepCleartext(b *testing.B) {
+	s := suite(b)
+	_, rep, err := s.RepModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := core.BuildRepDataset(s.HAS())
+	sel := make([]string, len(rep.Selected))
+	for i, f := range rep.Selected {
+		sel[i] = f.Name
+	}
+	reduced, err := ds.SelectFeatures(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		acc = cv.Accuracy()
+	}
+	b.ReportMetric(100*acc, "acc%")
+}
+
+func BenchmarkTable8StallEncrypted(b *testing.B) {
+	s := suite(b)
+	det, _, err := s.StallModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		conf, err := det.EvaluateCorpus(s.Study().Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = conf.Accuracy()
+	}
+	b.ReportMetric(100*acc, "acc%")
+}
+
+func BenchmarkTable10RepEncrypted(b *testing.B) {
+	s := suite(b)
+	det, _, err := s.RepModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		conf, err := det.EvaluateCorpus(s.Study().Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = conf.Accuracy()
+	}
+	b.ReportMetric(100*acc, "acc%")
+}
+
+func BenchmarkFigure1ChunkSizes(b *testing.B) {
+	var chunks int
+	for i := 0; i < b.N; i++ {
+		fs := workload.Figure1Session(1)
+		chunks = len(fs.Obs.Chunks)
+	}
+	b.ReportMetric(float64(chunks), "chunks")
+}
+
+func BenchmarkFigure2StallECDF(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var stalled float64
+	for i := 0; i < b.N; i++ {
+		counts, _ := s.Figure2()
+		stalled = 100 * (1 - counts.At(0))
+	}
+	b.ReportMetric(stalled, "stalled%")
+}
+
+func BenchmarkFigure3SwitchDeltas(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		times, _, _ := workloadFigure3()
+		pts = len(times)
+	}
+	b.ReportMetric(float64(pts), "points")
+}
+
+func workloadFigure3() (times, dsizes, dts []float64) {
+	fs := workload.Figure3Session(1)
+	chunks := fs.Obs.Chunks
+	for i := 1; i < len(chunks); i++ {
+		times = append(times, chunks[i].Time)
+		dsizes = append(dsizes, chunks[i].SizeKB-chunks[i-1].SizeKB)
+		dts = append(dts, chunks[i].Time-chunks[i-1].Time)
+	}
+	return
+}
+
+func BenchmarkFigure4ChangeScoreCDF(b *testing.B) {
+	s := suite(b)
+	det := core.NewSwitchDetector()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		steady, varying := det.ScoreDistributions(s.HAS())
+		n = len(steady) + len(varying)
+	}
+	b.ReportMetric(float64(n), "sessions")
+}
+
+func BenchmarkFigure5DatasetComparison(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		_, sizeEnc, _, _ := s.Figure5()
+		med = sizeEnc.Quantile(0.5)
+	}
+	b.ReportMetric(med, "medKB")
+}
+
+func BenchmarkSwitchDetectionCleartext(b *testing.B) {
+	s := suite(b)
+	det := core.NewSwitchDetector()
+	b.ResetTimer()
+	var ev core.SwitchEvaluation
+	for i := 0; i < b.N; i++ {
+		ev = det.EvaluateSwitch(s.HAS())
+	}
+	b.ReportMetric(100*ev.SteadyBelow, "steady%")
+	b.ReportMetric(100*ev.VaryingAbove, "varying%")
+}
+
+func BenchmarkSwitchDetectionEncrypted(b *testing.B) {
+	s := suite(b)
+	det := core.NewSwitchDetector()
+	b.ResetTimer()
+	var ev core.SwitchEvaluation
+	for i := 0; i < b.N; i++ {
+		ev = det.EvaluateSwitch(s.Study().Corpus)
+	}
+	b.ReportMetric(100*ev.SteadyBelow, "steady%")
+	b.ReportMetric(100*ev.VaryingAbove, "varying%")
+}
+
+func BenchmarkSessionGrouping(b *testing.B) {
+	s := suite(b)
+	st := s.Study()
+	b.ResetTimer()
+	var perfect float64
+	for i := 0; i < b.N; i++ {
+		groups := sessionizer.Group(st.Stream, sessionizer.DefaultConfig())
+		ev := sessionizer.Evaluate(st.Stream, groups, st.StreamLabels)
+		perfect = 100 * ev.PerfectRate()
+	}
+	b.ReportMetric(perfect, "perfect%")
+}
+
+func BenchmarkBaselinePrometheusBinary(b *testing.B) {
+	s := suite(b)
+	ds := core.BuildBinaryStallDataset(s.Cleartext())
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		cv := ml.CrossValidate(ds, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		acc = cv.Accuracy()
+	}
+	b.ReportMetric(100*acc, "acc%")
+}
+
+// ---- Ablations ----
+
+func BenchmarkAblationStallWithoutChunkFeatures(b *testing.B) {
+	s := suite(b)
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.AblationStallWithoutChunkFeatures()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Reference, "ref-acc%")
+	b.ReportMetric(100*r.Variant, "variant-acc%")
+}
+
+func BenchmarkAblationStallAllFeatures(b *testing.B) {
+	s := suite(b)
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.AblationStallAllFeatures()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Variant, "variant-acc%")
+}
+
+func BenchmarkAblationSwitchProduct(b *testing.B) {
+	s := suite(b)
+	var rs []experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		rs = s.AblationSwitchProduct()
+	}
+	for _, r := range rs {
+		switch r.Name {
+		case "Δsize × Δt (paper)":
+			b.ReportMetric(100*r.Variant, "product%")
+		case "Δsize alone":
+			b.ReportMetric(100*r.Variant, "dsize%")
+		case "Δt alone":
+			b.ReportMetric(100*r.Variant, "dt%")
+		}
+	}
+}
+
+func BenchmarkAblationStartupFilter(b *testing.B) {
+	s := suite(b)
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = s.AblationStartupFilter()
+	}
+	b.ReportMetric(100*r.Reference, "filtered%")
+	b.ReportMetric(100*r.Variant, "unfiltered%")
+}
+
+func BenchmarkGeneralizationCrossService(b *testing.B) {
+	s := suite(b)
+	var rs []experiments.CrossService
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = s.CrossServiceStall()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		switch r.Service {
+		case "vimeo-like":
+			b.ReportMetric(100*r.Accuracy, "vimeo%")
+		case "dailymotion-like":
+			b.ReportMetric(100*r.Accuracy, "dailymotion%")
+		}
+	}
+}
+
+func BenchmarkPacketProbePipeline(b *testing.B) {
+	s := suite(b)
+	// one subscriber's encrypted stream rendered to packets once
+	stream := s.Study().Stream
+	if len(stream) > 2000 {
+		stream = stream[:2000]
+	}
+	pkts := packet.Synthesize(stream, stats.NewRand(1))
+	b.ResetTimer()
+	var txns int
+	for i := 0; i < b.N; i++ {
+		entries := packet.MeterEntries(pkts)
+		txns = len(entries)
+	}
+	b.ReportMetric(float64(len(pkts))/1e3, "kpkts")
+	b.ReportMetric(float64(txns), "txns")
+}
+
+func BenchmarkAblationSwitchML(b *testing.B) {
+	s := suite(b)
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = s.AblationSwitchML()
+	}
+	b.ReportMetric(100*r.Reference, "cusum%")
+	b.ReportMetric(100*r.Variant, "ml%")
+}

@@ -1,0 +1,126 @@
+// Command qoegen generates the synthetic datasets as files, for
+// inspection or for use outside this repository: per-session feature
+// vectors with labels (CSV) or raw weblog entries (JSONL).
+//
+// Usage:
+//
+//	qoegen -kind cleartext -n 1000 -format csv  > sessions.csv
+//	qoegen -kind encrypted -n 722 -format jsonl > weblog.jsonl
+//	qoegen -kind has -n 500 -format csv -set rep > rep.csv
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vqoe/internal/features"
+	"vqoe/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "cleartext", "dataset kind: cleartext, has, encrypted")
+		n      = flag.Int("n", 1000, "number of sessions")
+		seed   = flag.Int64("seed", 1, "master seed")
+		format = flag.String("format", "csv", "output format: csv (feature vectors) or jsonl (weblog entries)")
+		set    = flag.String("set", "stall", "feature set for csv output: stall or rep")
+	)
+	flag.Parse()
+
+	var corpus *workload.Corpus
+	switch *kind {
+	case "cleartext":
+		cfg := workload.DefaultConfig(*n)
+		cfg.Seed = *seed
+		corpus = workload.Generate(cfg)
+	case "has":
+		cfg := workload.DefaultConfig(*n)
+		cfg.AdaptiveFraction = 1
+		cfg.Seed = *seed
+		corpus = workload.Generate(cfg)
+	case "encrypted":
+		cfg := workload.DefaultStudyConfig()
+		cfg.Sessions = *n
+		cfg.Seed = *seed
+		corpus = workload.GenerateStudy(cfg).Corpus
+	default:
+		fmt.Fprintf(os.Stderr, "qoegen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	var err error
+	switch *format {
+	case "csv":
+		err = writeCSV(out, corpus, *set)
+	case "jsonl":
+		err = writeJSONL(out, corpus)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoegen:", err)
+		os.Exit(1)
+	}
+}
+
+func writeCSV(out *bufio.Writer, corpus *workload.Corpus, set string) error {
+	var names []string
+	var vector func(features.SessionObs) []float64
+	switch set {
+	case "stall":
+		names = features.StallFeatureNames()
+		vector = features.StallFeatures
+	case "rep":
+		names = features.RepFeatureNames()
+		vector = features.RepFeatures
+	default:
+		return fmt.Errorf("unknown feature set %q", set)
+	}
+
+	w := csv.NewWriter(out)
+	header := append([]string{"session_id", "mode", "profile"}, names...)
+	header = append(header, "rr", "stall_label", "avg_quality", "rep_label", "switch_freq", "switch_amp", "var_label")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, s := range corpus.Sessions {
+		row := []string{s.Trace.SessionID, s.Mode.String(), s.Profile}
+		for _, v := range vector(s.Obs) {
+			row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		row = append(row,
+			strconv.FormatFloat(s.RR, 'g', 6, 64),
+			s.Stall.String(),
+			strconv.FormatFloat(s.AvgQuality, 'g', 6, 64),
+			s.Rep.String(),
+			strconv.Itoa(s.SwitchFreq),
+			strconv.FormatFloat(s.SwitchAmp, 'g', 6, 64),
+			s.Var.String(),
+		)
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeJSONL(out *bufio.Writer, corpus *workload.Corpus) error {
+	enc := json.NewEncoder(out)
+	for _, s := range corpus.Sessions {
+		for _, e := range s.Entries {
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

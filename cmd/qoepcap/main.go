@@ -1,0 +1,164 @@
+// Command qoepcap bridges the framework and standard capture tooling:
+//
+//	qoepcap -export capture.pcap [-sessions 20]   synthesize an
+//	  encrypted study and write it as a header-only libpcap capture
+//	  (opens in tcpdump/Wireshark);
+//
+//	qoepcap -analyze capture.pcap [-hosts map.txt]   run the passive
+//	  measurement chain on a capture: flow metering → session
+//	  reconstruction → QoE reports.
+//
+// A hosts file ("ip host" per line) restores server names for captures
+// whose DNS/SNI context is external; -export writes one next to the
+// capture automatically.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/packet"
+	"vqoe/internal/pcapio"
+	"vqoe/internal/sessionizer"
+	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+func main() {
+	var (
+		export   = flag.String("export", "", "write a synthetic capture to this pcap file")
+		analyze  = flag.String("analyze", "", "analyze this pcap file")
+		hosts    = flag.String("hosts", "", "ip→host map file for -analyze")
+		sessions = flag.Int("sessions", 20, "sessions to synthesize for -export")
+		seed     = flag.Int64("seed", 1, "seed")
+		trainN   = flag.Int("train-n", 800, "training corpus size for -analyze")
+	)
+	flag.Parse()
+
+	switch {
+	case *export != "":
+		if err := doExport(*export, *sessions, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "qoepcap:", err)
+			os.Exit(1)
+		}
+	case *analyze != "":
+		if err := doAnalyze(*analyze, *hosts, *trainN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "qoepcap:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doExport(path string, sessions int, seed int64) error {
+	cfg := workload.DefaultStudyConfig()
+	cfg.Sessions = sessions
+	cfg.Seed = seed
+	study := workload.GenerateStudy(cfg)
+	pkts := packet.Synthesize(study.Stream, stats.NewRand(seed))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := pcapio.NewWriter(f, time.Now())
+	if err != nil {
+		return err
+	}
+	if err := w.WriteAll(pkts); err != nil {
+		return err
+	}
+
+	// companion host map so -analyze can restore server names
+	hf, err := os.Create(path + ".hosts")
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	seen := map[string]bool{}
+	for _, e := range study.Stream {
+		if !seen[e.ServerIP] {
+			seen[e.ServerIP] = true
+			fmt.Fprintf(hf, "%s %s\n", e.ServerIP, e.Host)
+		}
+	}
+	fmt.Printf("wrote %d packets (%d sessions) to %s (+ %s.hosts)\n",
+		len(pkts), sessions, path, path)
+	return nil
+}
+
+func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcapio.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	if hostsPath == "" {
+		hostsPath = path + ".hosts"
+	}
+	if hf, err := os.Open(hostsPath); err == nil {
+		sc := bufio.NewScanner(hf)
+		for sc.Scan() {
+			parts := strings.Fields(sc.Text())
+			if len(parts) == 2 {
+				r.ResolveHost(parts[0], parts[1])
+			}
+		}
+		hf.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "qoepcap: no host map (%v); media-host detection will fail\n", err)
+	}
+
+	pkts, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	entries := packet.MeterEntries(pkts)
+	fmt.Printf("metered %d transactions from %d packets\n\n", len(entries), len(pkts))
+
+	// train and assess
+	fmt.Fprintln(os.Stderr, "training framework...")
+	clearCfg := workload.DefaultConfig(trainN)
+	clearCfg.Seed = seed + 1
+	hasCfg := workload.DefaultConfig(trainN / 2)
+	hasCfg.AdaptiveFraction = 1
+	hasCfg.Seed = seed + 2
+	tcfg := core.DefaultTrainConfig()
+	tcfg.CVFolds = 3
+	tcfg.Forest.Trees = 30
+	fw, _, err := core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+	if err != nil {
+		return err
+	}
+
+	groups := sessionizer.Group(entries, sessionizer.DefaultConfig())
+	n := 0
+	for _, s := range groups {
+		if len(s.MediaIndices(entries)) < 3 {
+			continue
+		}
+		sub := make([]weblog.Entry, 0, len(s.Indices))
+		for _, i := range s.Indices {
+			sub = append(sub, entries[i])
+		}
+		rep := fw.Analyze(features.FromEntries(sub))
+		n++
+		fmt.Printf("session %2d  t=%8.1fs  %s\n", n, s.Start, rep)
+	}
+	fmt.Printf("\n%d sessions assessed\n", n)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command qoeserve runs the detection framework as an HTTP service for
+// operator integration:
+//
+//	POST /analyze  one session's weblog entries (JSONL) → assessment
+//	POST /ingest   streaming entries → reports for completed sessions
+//	GET  /metrics  Prometheus exposition
+//	GET  /healthz  liveness
+//
+// Models are loaded from files written by qoetrain, or trained on a
+// synthetic corpus at startup.
+//
+//	qoeserve -addr :8080 -stall stall.model -rep rep.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"vqoe/internal/core"
+	"vqoe/internal/pipeline"
+	"vqoe/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		stallPath = flag.String("stall", "", "trained stall model")
+		repPath   = flag.String("rep", "", "trained representation model")
+		trainN    = flag.Int("train-n", 800, "synthetic training size when no models given")
+		seed      = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+
+	fw, err := buildFramework(*stallPath, *repPath, *trainN, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoeserve:", err)
+		os.Exit(1)
+	}
+	srv := pipeline.NewServer(fw)
+	fmt.Fprintf(os.Stderr, "qoeserve listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "qoeserve:", err)
+		os.Exit(1)
+	}
+}
+
+func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Framework, error) {
+	if stallPath != "" && repPath != "" {
+		stall, err := loadDetector(stallPath)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := loadDetector(repPath)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Framework{
+			Stall:  &core.StallDetector{Detector: *stall},
+			Rep:    &core.RepresentationDetector{Detector: *rep},
+			Switch: core.NewSwitchDetector(),
+		}, nil
+	}
+	fmt.Fprintf(os.Stderr, "qoeserve: training on a %d-session synthetic corpus...\n", trainN)
+	clearCfg := workload.DefaultConfig(trainN)
+	clearCfg.Seed = seed
+	hasCfg := workload.DefaultConfig(trainN / 2)
+	hasCfg.AdaptiveFraction = 1
+	hasCfg.Seed = seed + 1
+	tcfg := core.DefaultTrainConfig()
+	tcfg.CVFolds = 3
+	tcfg.Forest.Trees = 30
+	fw, _, err := core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+	return fw, err
+}
+
+func loadDetector(path string) (*core.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadDetector(f)
+}

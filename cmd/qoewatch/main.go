@@ -1,0 +1,143 @@
+// Command qoewatch is the operator's live monitor: it reads a weblog
+// stream (JSONL, one entry per line — the format cmd/qoegen emits) from
+// stdin, reconstructs sessions on the fly and prints a QoE report the
+// moment each session completes.
+//
+// Models are loaded from files written by qoetrain, or trained on a
+// synthetic corpus at startup when no files are given.
+//
+//	qoegen -kind encrypted -n 50 -format jsonl | qoewatch
+//	qoewatch -stall stall.model -rep rep.model < weblog.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"vqoe/internal/core"
+	"vqoe/internal/pipeline"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+func main() {
+	var (
+		stallPath = flag.String("stall", "", "trained stall model (from qoetrain -save-stall)")
+		repPath   = flag.String("rep", "", "trained representation model (from qoetrain -save-rep)")
+		trainN    = flag.Int("train-n", 800, "synthetic training size when no model files are given")
+		seed      = flag.Int64("seed", 1, "training seed")
+		quietOK   = flag.Bool("problems-only", false, "print only sessions with QoE issues")
+		metricsAt = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
+	)
+	flag.Parse()
+
+	fw, err := buildFramework(*stallPath, *repPath, *trainN, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoewatch:", err)
+		os.Exit(1)
+	}
+
+	an := pipeline.New(fw, pipeline.DefaultConfig())
+	metrics := pipeline.NewMetrics()
+	if *metricsAt != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAt, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "qoewatch: metrics:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "qoewatch: metrics on http://%s/metrics\n", *metricsAt)
+	}
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	var lines, emitted int
+	var lastTS float64
+	for in.Scan() {
+		if len(in.Bytes()) == 0 {
+			continue
+		}
+		var e weblog.Entry
+		if err := json.Unmarshal(in.Bytes(), &e); err != nil {
+			fmt.Fprintf(os.Stderr, "qoewatch: skipping malformed line %d: %v\n", lines+1, err)
+			continue
+		}
+		lines++
+		lastTS = e.Timestamp
+		metrics.ObserveEntry()
+		for _, rep := range an.Push(e) {
+			metrics.ObserveReport(rep)
+			emitted += printReport(out, rep, *quietOK)
+		}
+	}
+	if err := in.Err(); err != nil && err != io.EOF {
+		fmt.Fprintln(os.Stderr, "qoewatch: read:", err)
+		os.Exit(1)
+	}
+	_ = lastTS
+	for _, rep := range an.Flush() {
+		metrics.ObserveReport(rep)
+		emitted += printReport(out, rep, *quietOK)
+	}
+	fmt.Fprintf(out, "-- %d entries, %d session reports\n", lines, emitted)
+}
+
+func printReport(w io.Writer, rep pipeline.SessionReport, problemsOnly bool) int {
+	problem := rep.Report.Stall != 0 || rep.Report.SwitchVariance
+	if problemsOnly && !problem {
+		return 0
+	}
+	marker := " "
+	if problem {
+		marker = "!"
+	}
+	fmt.Fprintf(w, "%s %-12s t=%8.1fs dur=%6.1fs  %s\n",
+		marker, rep.Subscriber, rep.Start, rep.End-rep.Start, rep.Report)
+	return 1
+}
+
+func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Framework, error) {
+	if stallPath != "" && repPath != "" {
+		stall, err := loadDetector(stallPath)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := loadDetector(repPath)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Framework{
+			Stall:  &core.StallDetector{Detector: *stall},
+			Rep:    &core.RepresentationDetector{Detector: *rep},
+			Switch: core.NewSwitchDetector(),
+		}, nil
+	}
+	fmt.Fprintf(os.Stderr, "qoewatch: no model files given; training on a %d-session synthetic corpus...\n", trainN)
+	clearCfg := workload.DefaultConfig(trainN)
+	clearCfg.Seed = seed
+	hasCfg := workload.DefaultConfig(trainN / 2)
+	hasCfg.AdaptiveFraction = 1
+	hasCfg.Seed = seed + 1
+	tcfg := core.DefaultTrainConfig()
+	tcfg.CVFolds = 3
+	tcfg.Forest.Trees = 30
+	fw, _, err := core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+	return fw, err
+}
+
+func loadDetector(path string) (*core.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadDetector(f)
+}

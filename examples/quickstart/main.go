@@ -1,0 +1,61 @@
+// Quickstart: train the QoE detection framework on a small cleartext
+// corpus, then assess encrypted sessions it has never seen — the
+// paper's deployment in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vqoe/internal/core"
+	"vqoe/internal/workload"
+)
+
+func main() {
+	// 1. A cleartext corpus, as an operator's proxy would collect it.
+	//    Ground truth comes from the request URIs.
+	clearCfg := workload.DefaultConfig(800)
+	clearCfg.Seed = 7
+	cleartext := workload.Generate(clearCfg)
+
+	hasCfg := workload.DefaultConfig(400)
+	hasCfg.AdaptiveFraction = 1 // representation models need HAS sessions
+	hasCfg.Seed = 8
+	adaptive := workload.Generate(hasCfg)
+
+	// 2. Train the three detectors (stall, representation, switching).
+	trainCfg := core.DefaultTrainConfig()
+	trainCfg.CVFolds = 5
+	trainCfg.Forest.Trees = 30
+	fw, report, err := core.TrainFramework(cleartext, adaptive, trainCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stall model:          %.1f%% CV accuracy, features %v\n",
+		100*report.Stall.CV.Accuracy(), names(report.Stall))
+	fmt.Printf("representation model: %.1f%% CV accuracy, %d features\n",
+		100*report.Rep.CV.Accuracy(), len(report.Rep.Selected))
+
+	// 3. Encrypted sessions: no URIs, no ground truth — only transport
+	//    statistics. Assess them with the trained framework.
+	studyCfg := workload.DefaultStudyConfig()
+	studyCfg.Sessions = 10
+	studyCfg.Seed = 9
+	study := workload.GenerateStudy(studyCfg)
+
+	fmt.Println("\nencrypted sessions:")
+	for i, s := range study.Corpus.Sessions {
+		r := fw.Analyze(s.Obs)
+		fmt.Printf("  session %2d: %s\n", i+1, r)
+		fmt.Printf("              truth: stalling=%s quality=%s switches=%d\n",
+			s.Stall, s.Rep, s.SwitchFreq)
+	}
+}
+
+func names(r *core.TrainReport) []string {
+	out := make([]string, len(r.Selected))
+	for i, f := range r.Selected {
+		out[i] = f.Name
+	}
+	return out
+}

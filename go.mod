@@ -1,0 +1,3 @@
+module vqoe
+
+go 1.22

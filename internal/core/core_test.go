@@ -1,0 +1,351 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"vqoe/internal/features"
+	"vqoe/internal/ml"
+	"vqoe/internal/workload"
+)
+
+// shared corpora — generated once, reused across tests (training is the
+// expensive part of this package's tests).
+var (
+	corpusOnce  sync.Once
+	stallCorpus *workload.Corpus
+	hasCorpus   *workload.Corpus
+	encCorpus   *workload.Corpus
+	stallDet    *StallDetector
+	stallRep    *TrainReport
+	repDet      *RepresentationDetector
+	repRep      *TrainReport
+)
+
+func testCorpora(t *testing.T) {
+	t.Helper()
+	corpusOnce.Do(func() {
+		cfg := workload.DefaultConfig(1500)
+		cfg.Seed = 2024
+		stallCorpus = workload.Generate(cfg)
+
+		hcfg := workload.DefaultConfig(900)
+		hcfg.AdaptiveFraction = 1
+		hcfg.Seed = 2025
+		hasCorpus = workload.Generate(hcfg)
+
+		scfg := workload.DefaultStudyConfig()
+		scfg.Sessions = 250
+		scfg.Seed = 2026
+		encCorpus = workload.GenerateStudy(scfg).Corpus
+
+		tcfg := DefaultTrainConfig()
+		tcfg.CVFolds = 5
+		tcfg.Forest.Trees = 30
+		var err error
+		stallDet, stallRep, err = TrainStall(stallCorpus, tcfg)
+		if err != nil {
+			panic(err)
+		}
+		repDet, repRep, err = TrainRepresentation(hasCorpus, tcfg)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+func TestBuildDatasets(t *testing.T) {
+	testCorpora(t)
+	sds := BuildStallDataset(stallCorpus)
+	if sds.Len() != stallCorpus.Len() || sds.NumFeatures() != 70 {
+		t.Errorf("stall dataset %dx%d", sds.Len(), sds.NumFeatures())
+	}
+	rds := BuildRepDataset(hasCorpus)
+	if rds.Len() != hasCorpus.Adaptive().Len() || rds.NumFeatures() != 210 {
+		t.Errorf("rep dataset %dx%d", rds.Len(), rds.NumFeatures())
+	}
+	bds := BuildBinaryStallDataset(stallCorpus)
+	if bds.NumClasses() != 2 {
+		t.Error("binary dataset should have 2 classes")
+	}
+	counts := bds.ClassCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("binary classes degenerate: %v", counts)
+	}
+}
+
+func TestStallTrainingSelectsChunkSizeFeatures(t *testing.T) {
+	testCorpora(t)
+	if len(stallRep.Selected) == 0 {
+		t.Fatal("no features selected")
+	}
+	// §4.1: chunk-size statistics carry the most information
+	hasChunkSize := false
+	for _, f := range stallRep.Selected {
+		if len(f.Name) >= 10 && f.Name[:10] == "chunk size" {
+			hasChunkSize = true
+		}
+		if f.Gain < 0 {
+			t.Errorf("negative gain for %s", f.Name)
+		}
+	}
+	if !hasChunkSize {
+		t.Errorf("no chunk-size feature among selected: %v", stallRep.Selected)
+	}
+	// gains reported in descending order
+	for i := 1; i < len(stallRep.Selected); i++ {
+		if stallRep.Selected[i].Gain > stallRep.Selected[i-1].Gain+1e-9 {
+			t.Error("selected features not ordered by gain")
+		}
+	}
+}
+
+func TestStallCVAccuracyInPaperBallpark(t *testing.T) {
+	testCorpora(t)
+	acc := stallRep.CV.Accuracy()
+	if acc < 0.80 {
+		t.Errorf("stall CV accuracy %.3f below 0.80 (paper: 0.935)", acc)
+	}
+	// healthy sessions must be the easiest class (§4.1)
+	if stallRep.CV.TPRate(0) < stallRep.CV.TPRate(2)-0.05 {
+		t.Errorf("no-stall TP rate %.3f should dominate severe %.3f",
+			stallRep.CV.TPRate(0), stallRep.CV.TPRate(2))
+	}
+}
+
+func TestStallConfusionAdjacentClasses(t *testing.T) {
+	testCorpora(t)
+	rp := stallRep.CV.RowPercent()
+	// errors concentrate between adjacent classes: severe misread as
+	// mild more often than as healthy (Table 4's structure)
+	if rp[2][0] > rp[2][1] {
+		t.Errorf("severe→none (%.1f%%) exceeds severe→mild (%.1f%%)", rp[2][0], rp[2][1])
+	}
+}
+
+func TestRepTrainingQuality(t *testing.T) {
+	testCorpora(t)
+	acc := repRep.CV.Accuracy()
+	if acc < 0.70 {
+		t.Errorf("rep CV accuracy %.3f below 0.70 (paper: 0.845)", acc)
+	}
+	if len(repRep.Selected) == 0 {
+		t.Fatal("no features selected for rep model")
+	}
+}
+
+func TestEncryptedEvaluationCloseToCleartext(t *testing.T) {
+	testCorpora(t)
+	conf, err := stallDet.EvaluateCorpus(encCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != encCorpus.Len() {
+		t.Errorf("evaluated %d of %d sessions", conf.Total(), encCorpus.Len())
+	}
+	encAcc := conf.Accuracy()
+	clearAcc := stallRep.CV.Accuracy()
+	// The paper loses only 1.7 points moving to encrypted traffic; on
+	// the synthetic substrate the commuter-heavy adaptive study sits
+	// farther from the progressive-heavy training mix, so the measured
+	// drop is larger (see EXPERIMENTS.md). Guard against collapse, not
+	// against the documented gap.
+	if encAcc < clearAcc-0.25 {
+		t.Errorf("encrypted accuracy %.3f much worse than cleartext %.3f", encAcc, clearAcc)
+	}
+}
+
+func TestDetectorPredictMatchesEvaluate(t *testing.T) {
+	testCorpora(t)
+	ds := BuildStallDataset(encCorpus)
+	reduced, err := ds.SelectFeatures(stallDet.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range encCorpus.Sessions[:20] {
+		want := stallDet.Forest.Predict(reduced.X[i])
+		if got := stallDet.Predict(s.Obs); int(got) != want {
+			t.Fatalf("Predict disagrees with dataset path at %d", i)
+		}
+	}
+}
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	testCorpora(t)
+	var buf bytes.Buffer
+	if err := stallDet.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range encCorpus.Sessions[:30] {
+		a := stallDet.predictVector(features.StallFeatures(s.Obs))
+		b := loaded.predictVector(features.StallFeatures(s.Obs))
+		if a != b {
+			t.Fatal("loaded detector diverges from original")
+		}
+	}
+}
+
+func TestLoadDetectorBadInput(t *testing.T) {
+	if _, err := LoadDetector(bytes.NewBufferString("garbage")); err == nil {
+		t.Error("garbage should not load")
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	_, _, err := Train(ml.NewDataset(features.StallFeatureNames(), features.StallLabelNames), DefaultTrainConfig())
+	if err == nil {
+		t.Error("empty dataset must error")
+	}
+}
+
+func TestSwitchDetectorSeparation(t *testing.T) {
+	testCorpora(t)
+	det := NewSwitchDetector()
+	ev := det.EvaluateSwitch(hasCorpus)
+	if ev.SteadyN == 0 || ev.VaryingN == 0 {
+		t.Fatalf("degenerate corpus: %d steady, %d varying", ev.SteadyN, ev.VaryingN)
+	}
+	if ev.SteadyBelow < 0.6 {
+		t.Errorf("steady-below %.2f too low (paper: 0.78)", ev.SteadyBelow)
+	}
+	if ev.VaryingAbove < 0.6 {
+		t.Errorf("varying-above %.2f too low (paper: 0.76)", ev.VaryingAbove)
+	}
+}
+
+func TestSwitchDetectorSameThresholdOnEncrypted(t *testing.T) {
+	testCorpora(t)
+	det := NewSwitchDetector()
+	ev := det.EvaluateSwitch(encCorpus)
+	if ev.SteadyN+ev.VaryingN != encCorpus.Len() {
+		t.Error("all adaptive sessions should be scored")
+	}
+	if ev.SteadyBelow < 0.55 && ev.VaryingAbove < 0.55 {
+		t.Errorf("encrypted switch detection collapsed: %+v", ev)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	testCorpora(t)
+	det := NewSwitchDetector()
+	opt := det.CalibrateThreshold(hasCorpus)
+	if opt <= 0 {
+		t.Fatalf("calibrated threshold %v", opt)
+	}
+	// calibrated threshold can't be worse than the fixed one on the
+	// corpus it was calibrated on
+	fixed := det.EvaluateSwitch(hasCorpus)
+	det.Threshold = opt
+	cal := det.EvaluateSwitch(hasCorpus)
+	fixedBal := (fixed.SteadyBelow + fixed.VaryingAbove) / 2
+	calBal := (cal.SteadyBelow + cal.VaryingAbove) / 2
+	if calBal < fixedBal-1e-9 {
+		t.Errorf("calibrated balance %.3f below fixed %.3f", calBal, fixedBal)
+	}
+}
+
+func TestScoreDistributions(t *testing.T) {
+	testCorpora(t)
+	det := NewSwitchDetector()
+	steady, varying := det.ScoreDistributions(hasCorpus)
+	if len(steady) == 0 || len(varying) == 0 {
+		t.Fatal("distributions empty")
+	}
+	for _, v := range append(steady, varying...) {
+		if v < 0 {
+			t.Fatal("negative change score")
+		}
+	}
+}
+
+func TestFrameworkEndToEnd(t *testing.T) {
+	testCorpora(t)
+	tcfg := DefaultTrainConfig()
+	tcfg.CVFolds = 3
+	tcfg.Forest.Trees = 15
+	fw, rep, err := TrainFramework(stallCorpus, hasCorpus, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stall.CV.Accuracy() <= 0 || rep.Rep.CV.Accuracy() <= 0 {
+		t.Error("framework reports empty")
+	}
+	r := fw.Analyze(encCorpus.Sessions[0].Obs)
+	if r.Chunks == 0 {
+		t.Error("report should carry chunk count")
+	}
+	if r.String() == "" {
+		t.Error("report should render")
+	}
+}
+
+func TestBaselineBinaryClassifier(t *testing.T) {
+	testCorpora(t)
+	ds := BuildBinaryStallDataset(stallCorpus)
+	conf := ml.CrossValidate(ds, 5, ml.ForestConfig{Trees: 30, Seed: 3}, 4)
+	if acc := conf.Accuracy(); acc < 0.75 {
+		t.Errorf("binary baseline accuracy %.3f too low (Prometheus: 0.84)", acc)
+	}
+}
+
+func TestRepDetectorEvaluateCorpus(t *testing.T) {
+	testCorpora(t)
+	conf, err := repDet.EvaluateCorpus(encCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != encCorpus.Adaptive().Len() {
+		t.Errorf("evaluated %d sessions, want %d", conf.Total(), encCorpus.Adaptive().Len())
+	}
+	if acc := conf.Accuracy(); acc < 0.5 {
+		t.Errorf("encrypted representation accuracy %.3f collapsed", acc)
+	}
+}
+
+func TestEvaluateUnknownSchema(t *testing.T) {
+	testCorpora(t)
+	// a dataset missing the selected features must error, not panic
+	bad := ml.NewDataset([]string{"nope"}, features.StallLabelNames)
+	bad.Add([]float64{1}, 0)
+	if _, err := stallDet.Evaluate(bad); err == nil {
+		t.Error("schema mismatch should error")
+	}
+}
+
+// failingWriter errors after n bytes, exercising Save's error paths.
+type failingWriter struct{ left int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWrite
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWrite
+	}
+	return n, nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestDetectorSaveWriteErrors(t *testing.T) {
+	testCorpora(t)
+	for _, budget := range []int{0, 10, 40, 200} {
+		if err := stallDet.Save(&failingWriter{left: budget}); err == nil {
+			t.Errorf("Save with %d-byte budget should fail", budget)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package core is the paper's contribution: a framework that detects
+// the three key video-QoE impairments — stalling, average
+// representation quality, and representation switching — from
+// passively observed, possibly encrypted traffic (§4–§5).
+//
+// The framework is trained once on a cleartext corpus whose ground
+// truth is reverse-engineered from request URIs, and then applied
+// unchanged to encrypted traffic, exactly as an operator would deploy
+// it.
+package core
+
+import (
+	"vqoe/internal/features"
+	"vqoe/internal/ml"
+	"vqoe/internal/workload"
+)
+
+// BuildStallDataset assembles the 70-feature stall dataset of §4.1
+// over all sessions (both delivery modes).
+func BuildStallDataset(c *workload.Corpus) *ml.Dataset {
+	ds := ml.NewDataset(features.StallFeatureNames(), features.StallLabelNames)
+	for _, s := range c.Sessions {
+		ds.Add(features.StallFeatures(s.Obs), int(s.Stall))
+	}
+	return ds
+}
+
+// BuildRepDataset assembles the 210-feature representation dataset of
+// §4.2 over the corpus's adaptive sessions.
+func BuildRepDataset(c *workload.Corpus) *ml.Dataset {
+	ds := ml.NewDataset(features.RepFeatureNames(), features.RepLabelNames)
+	for _, s := range c.Adaptive().Sessions {
+		ds.Add(features.RepFeatures(s.Obs), int(s.Rep))
+	}
+	return ds
+}
+
+// BinaryStallLabelNames are the two classes of the Prometheus-style
+// baseline ([15] in the paper): buffering issues present or not.
+var BinaryStallLabelNames = []string{"no buffering", "buffering"}
+
+// BuildBinaryStallDataset assembles the baseline's binary dataset: the
+// same 70 features, collapsed labels.
+func BuildBinaryStallDataset(c *workload.Corpus) *ml.Dataset {
+	ds := ml.NewDataset(features.StallFeatureNames(), BinaryStallLabelNames)
+	for _, s := range c.Sessions {
+		label := 0
+		if s.Stall != features.NoStall {
+			label = 1
+		}
+		ds.Add(features.StallFeatures(s.Obs), label)
+	}
+	return ds
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vqoe/internal/features"
+	"vqoe/internal/ml"
+	"vqoe/internal/stats"
+	"vqoe/internal/workload"
+)
+
+// Detector is a trained Random Forest classifier over a selected
+// feature subset, covering both the stall and the representation
+// models (they differ only in feature set and labels).
+type Detector struct {
+	Forest *ml.Forest
+	// Selected is the CFS-chosen feature subset, ordered by gain.
+	Selected []string
+	// Gains reports the information gain of each selected feature
+	// (the content of Tables 2 and 5).
+	Gains []ml.RankedFeature
+	// full is the feature schema the raw vectors arrive in.
+	full []string
+}
+
+// TrainConfig bundles the training hyperparameters.
+type TrainConfig struct {
+	Forest ml.ForestConfig
+	CFS    ml.CFSConfig
+	// CVFolds is the cross-validation fold count (paper: 10).
+	CVFolds int
+	// Seed drives balancing and fold assignment.
+	Seed int64
+	// SelectionSample caps the instances used for feature selection —
+	// CFS is quadratic in features and linear in instances, and a
+	// sample this size selects the same subsets in practice. 0 means
+	// all instances.
+	SelectionSample int
+}
+
+// DefaultTrainConfig mirrors the paper's setup: Random Forest with
+// 10-fold cross-validation.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Forest:          ml.ForestConfig{Trees: 60, MinLeaf: 2, Seed: 1},
+		CFS:             ml.CFSConfig{MaxStale: 5},
+		CVFolds:         10,
+		Seed:            1,
+		SelectionSample: 4000,
+	}
+}
+
+// TrainReport summarizes a detector's training run.
+type TrainReport struct {
+	// Selected features with their information gains (Tables 2/5).
+	Selected []ml.RankedFeature
+	// CV is the merged 10-fold cross-validation confusion matrix
+	// (Tables 3/4 and 6/7).
+	CV *ml.Confusion
+	// ClassCounts is the label distribution of the training corpus.
+	ClassCounts []int
+}
+
+// Train runs the paper's full §4 pipeline on a labelled dataset:
+// feature selection (CfsSubsetEval + Best First), 10-fold stratified
+// cross-validation with balanced training folds, and a final model
+// trained on the balanced full set.
+func Train(ds *ml.Dataset, cfg TrainConfig) (*Detector, *TrainReport, error) {
+	if ds.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+	if cfg.CVFolds < 2 {
+		cfg.CVFolds = 10
+	}
+	r := stats.NewRand(cfg.Seed)
+
+	// Feature selection runs on a balanced sample so the merit is not
+	// dominated by the majority class.
+	selDS := ds.Balance(r)
+	if cfg.SelectionSample > 0 && selDS.Len() > cfg.SelectionSample {
+		idx := r.Perm(selDS.Len())[:cfg.SelectionSample]
+		selDS = selDS.Subset(idx)
+	}
+	selected := ml.CFSSelect(selDS, cfg.CFS)
+	if len(selected) == 0 {
+		// degenerate corpus: fall back to the top info-gain features
+		for i, rf := range ml.RankByInfoGain(selDS) {
+			if i >= 4 {
+				break
+			}
+			selected = append(selected, rf.Name)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, nil, fmt.Errorf("core: feature selection produced nothing")
+	}
+
+	reduced, err := ds.SelectFeatures(selected)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// report per-feature gains over the selected subset
+	gainAll := ml.RankByInfoGain(selDS)
+	gainByName := make(map[string]float64, len(gainAll))
+	for _, g := range gainAll {
+		gainByName[g.Name] = g.Gain
+	}
+	gains := make([]ml.RankedFeature, len(selected))
+	for i, n := range selected {
+		gains[i] = ml.RankedFeature{Name: n, Gain: gainByName[n]}
+	}
+
+	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed)
+
+	finalTrain := reduced.Balance(stats.NewRand(cfg.Seed + 1))
+	forest := ml.TrainForest(finalTrain, cfg.Forest)
+
+	det := &Detector{
+		Forest:   forest,
+		Selected: selected,
+		Gains:    gains,
+		full:     ds.Names,
+	}
+	rep := &TrainReport{
+		Selected:    gains,
+		CV:          cv,
+		ClassCounts: ds.ClassCounts(),
+	}
+	return det, rep, nil
+}
+
+// Evaluate applies the trained detector to a dataset in the detector's
+// full (unselected) schema — e.g. the encrypted corpus — and returns
+// the confusion matrix (Tables 8–11).
+func (d *Detector) Evaluate(ds *ml.Dataset) (*ml.Confusion, error) {
+	reduced, err := ds.SelectFeatures(d.Selected)
+	if err != nil {
+		return nil, err
+	}
+	return ml.Evaluate(d.Forest, reduced), nil
+}
+
+// predictVector classifies one raw feature vector given in the full
+// schema.
+func (d *Detector) predictVector(raw []float64) int {
+	x := make([]float64, len(d.Selected))
+	for i, name := range d.Selected {
+		for j, n := range d.full {
+			if n == name {
+				x[i] = raw[j]
+				break
+			}
+		}
+	}
+	return d.Forest.Predict(x)
+}
+
+// Save persists the detector (forest + schema).
+func (d *Detector) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "vqoe-detector %d %d\n", len(d.Selected), len(d.full)); err != nil {
+		return err
+	}
+	for _, n := range d.Selected {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.full {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return d.Forest.Save(w)
+}
+
+// LoadDetector restores a detector written by Save.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	var nSel, nFull int
+	if _, err := fmt.Fscanf(r, "vqoe-detector %d %d\n", &nSel, &nFull); err != nil {
+		return nil, fmt.Errorf("core: bad detector header: %w", err)
+	}
+	// feature names may contain spaces, so Fscanf's %s cannot read
+	// them; consume whole lines instead
+	sel, err := readRawLines(r, nSel)
+	if err != nil {
+		return nil, err
+	}
+	full, err := readRawLines(r, nFull)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := ml.LoadForest(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{Forest: forest, Selected: sel, full: full}, nil
+}
+
+func readRawLines(r io.Reader, n int) ([]string, error) {
+	out := make([]string, n)
+	buf := make([]byte, 1)
+	for i := range out {
+		var line []byte
+		for {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			if buf[0] == '\n' {
+				break
+			}
+			line = append(line, buf[0])
+		}
+		out[i] = string(line)
+	}
+	return out, nil
+}
+
+// StallDetector wraps a Detector for the stall impairment.
+type StallDetector struct{ Detector }
+
+// TrainStall trains the stall model on a corpus (§4.1).
+func TrainStall(c *workload.Corpus, cfg TrainConfig) (*StallDetector, *TrainReport, error) {
+	det, rep, err := Train(BuildStallDataset(c), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &StallDetector{Detector: *det}, rep, nil
+}
+
+// Predict classifies one session's stalling level.
+func (d *StallDetector) Predict(obs features.SessionObs) features.StallLabel {
+	return features.StallLabel(d.predictVector(features.StallFeatures(obs)))
+}
+
+// EvaluateCorpus applies the model to a labelled corpus (e.g. the
+// encrypted study) and returns the confusion matrix.
+func (d *StallDetector) EvaluateCorpus(c *workload.Corpus) (*ml.Confusion, error) {
+	return d.Evaluate(BuildStallDataset(c))
+}
+
+// RepresentationDetector wraps a Detector for the average
+// representation impairment.
+type RepresentationDetector struct{ Detector }
+
+// TrainRepresentation trains the representation model on a corpus's
+// adaptive sessions (§4.2).
+func TrainRepresentation(c *workload.Corpus, cfg TrainConfig) (*RepresentationDetector, *TrainReport, error) {
+	det, rep, err := Train(BuildRepDataset(c), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &RepresentationDetector{Detector: *det}, rep, nil
+}
+
+// Predict classifies one session's average representation.
+func (d *RepresentationDetector) Predict(obs features.SessionObs) features.RepLabel {
+	return features.RepLabel(d.predictVector(features.RepFeatures(obs)))
+}
+
+// EvaluateCorpus applies the model to a labelled corpus.
+func (d *RepresentationDetector) EvaluateCorpus(c *workload.Corpus) (*ml.Confusion, error) {
+	return d.Evaluate(BuildRepDataset(c))
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"vqoe/internal/features"
+	"vqoe/internal/workload"
+)
+
+// Framework bundles the three detectors into the deployable unit the
+// paper proposes: train on cleartext once, then report QoE impairments
+// for every (encrypted) session observed at a single vantage point.
+type Framework struct {
+	Stall  *StallDetector
+	Rep    *RepresentationDetector
+	Switch *SwitchDetector
+}
+
+// FrameworkReport carries the training diagnostics of both learned
+// models.
+type FrameworkReport struct {
+	Stall *TrainReport
+	Rep   *TrainReport
+}
+
+// TrainFramework trains all three detectors on a cleartext corpus. The
+// representation model trains on the corpus's adaptive subset; if that
+// subset is too small (the cleartext corpus is 97% progressive), pass
+// a dedicated HAS corpus as repCorpus — the paper likewise restricts
+// "the development of the average representation and the switch
+// detection to the videos that made use of adaptive streaming" (§3.1).
+func TrainFramework(stallCorpus, repCorpus *workload.Corpus, cfg TrainConfig) (*Framework, *FrameworkReport, error) {
+	if repCorpus == nil {
+		repCorpus = stallCorpus
+	}
+	stall, stallRep, err := TrainStall(stallCorpus, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("training stall model: %w", err)
+	}
+	rep, repRep, err := TrainRepresentation(repCorpus, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("training representation model: %w", err)
+	}
+	fw := &Framework{
+		Stall:  stall,
+		Rep:    rep,
+		Switch: NewSwitchDetector(),
+	}
+	return fw, &FrameworkReport{Stall: stallRep, Rep: repRep}, nil
+}
+
+// Report is the per-session QoE assessment the framework produces for
+// an operator dashboard.
+type Report struct {
+	Stall          features.StallLabel
+	Representation features.RepLabel
+	SwitchVariance bool
+	SwitchScore    float64
+	Chunks         int
+}
+
+// Analyze assesses one session from its traffic observations alone.
+func (f *Framework) Analyze(obs features.SessionObs) Report {
+	return Report{
+		Stall:          f.Stall.Predict(obs),
+		Representation: f.Rep.Predict(obs),
+		SwitchVariance: f.Switch.Detect(obs),
+		SwitchScore:    f.Switch.Score(obs),
+		Chunks:         obs.Len(),
+	}
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	sw := "steady"
+	if r.SwitchVariance {
+		sw = "variable"
+	}
+	return fmt.Sprintf("stalling=%s quality=%s representation=%s (score %.0f, %d chunks)",
+		r.Stall, r.Representation, sw, r.SwitchScore, r.Chunks)
+}

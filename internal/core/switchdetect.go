@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"vqoe/internal/features"
+	"vqoe/internal/timeseries"
+	"vqoe/internal/workload"
+)
+
+// SwitchDetector implements the representation-quality-switch
+// methodology of §4.3: compute the per-session time series of
+// Δsize × Δt products (startup phase removed), run a CUSUM change
+// detector over it, and threshold the standard deviation of the chart
+// output. Sessions above the threshold are flagged as having
+// representation variance.
+type SwitchDetector struct {
+	// Threshold on STD(CUSUM(Δsize×Δt)); the paper fixes 500 (eq. 3)
+	// and reuses it unchanged on encrypted traffic.
+	Threshold float64
+	// StartupFilterSec is removed from the head of every session.
+	StartupFilterSec float64
+}
+
+// PaperThreshold is the fixed decision threshold of eq. 3.
+const PaperThreshold = 500.0
+
+// NewSwitchDetector returns a detector with the paper's parameters.
+func NewSwitchDetector() *SwitchDetector {
+	return &SwitchDetector{
+		Threshold:        PaperThreshold,
+		StartupFilterSec: features.StartupFilterSec,
+	}
+}
+
+// Score computes the session's change score STD(CUSUM(Δsize×Δt)).
+func (d *SwitchDetector) Score(obs features.SessionObs) float64 {
+	return timeseries.ChangeScore(features.SwitchSeries(obs, d.StartupFilterSec))
+}
+
+// Detect reports whether the session shows representation variance.
+func (d *SwitchDetector) Detect(obs features.SessionObs) bool {
+	return d.Score(obs) > d.Threshold
+}
+
+// SwitchEvaluation holds the two accuracies the paper reports for this
+// detector: the share of truly steady sessions below the threshold and
+// the share of truly varying sessions above it (Figure 4, §5.6).
+type SwitchEvaluation struct {
+	// SteadyBelow is the fraction of no-variation sessions scored
+	// below the threshold (paper: 78% cleartext, 76.9% encrypted).
+	SteadyBelow float64
+	// VaryingAbove is the fraction of with-variation sessions scored
+	// above it (paper: 76% cleartext, 71.7% encrypted).
+	VaryingAbove float64
+	// SteadyN and VaryingN are the class sizes.
+	SteadyN, VaryingN int
+}
+
+// EvaluateSwitch scores every adaptive session of the corpus against
+// the truth label "has any steady-phase representation variation".
+func (d *SwitchDetector) EvaluateSwitch(c *workload.Corpus) SwitchEvaluation {
+	var ev SwitchEvaluation
+	for _, s := range c.Adaptive().Sessions {
+		score := d.Score(s.Obs)
+		if s.Var == features.NoVariation {
+			ev.SteadyN++
+			if score <= d.Threshold {
+				ev.SteadyBelow++
+			}
+		} else {
+			ev.VaryingN++
+			if score > d.Threshold {
+				ev.VaryingAbove++
+			}
+		}
+	}
+	if ev.SteadyN > 0 {
+		ev.SteadyBelow /= float64(ev.SteadyN)
+	}
+	if ev.VaryingN > 0 {
+		ev.VaryingAbove /= float64(ev.VaryingN)
+	}
+	return ev
+}
+
+// ScoreDistributions returns the change scores of steady and varying
+// sessions separately — the two CDFs of Figure 4.
+func (d *SwitchDetector) ScoreDistributions(c *workload.Corpus) (steady, varying []float64) {
+	for _, s := range c.Adaptive().Sessions {
+		score := d.Score(s.Obs)
+		if s.Var == features.NoVariation {
+			steady = append(steady, score)
+		} else {
+			varying = append(varying, score)
+		}
+	}
+	return steady, varying
+}
+
+// CalibrateThreshold picks the threshold maximizing the balanced
+// detection rate (mean of SteadyBelow and VaryingAbove) over the
+// corpus. The paper eyeballs Figure 4 and fixes 500; calibration lets
+// the ablation benches quantify how close that choice is to optimal.
+func (d *SwitchDetector) CalibrateThreshold(c *workload.Corpus) float64 {
+	steady, varying := d.ScoreDistributions(c)
+	if len(steady) == 0 || len(varying) == 0 {
+		return d.Threshold
+	}
+	all := append(append([]float64(nil), steady...), varying...)
+	sort.Float64s(all)
+	sort.Float64s(steady)
+	sort.Float64s(varying)
+	best, bestScore := d.Threshold, -1.0
+	for _, t := range all {
+		below := float64(sort.SearchFloat64s(steady, t+1e-12)) / float64(len(steady))
+		above := 1 - float64(sort.SearchFloat64s(varying, t+1e-12))/float64(len(varying))
+		bal := (below + above) / 2
+		if bal > bestScore {
+			bestScore = bal
+			best = t
+		}
+	}
+	return best
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCrossServiceStall(t *testing.T) {
+	s := testSuite(t)
+	results, err := s.CrossServiceStall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 foreign services, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Sessions == 0 {
+			t.Errorf("%s: empty corpus", r.Service)
+		}
+		if r.Accuracy <= 0.4 {
+			t.Errorf("%s: accuracy %.3f collapsed — generalization broken", r.Service, r.Accuracy)
+		}
+		if r.HomeAccuracy <= 0 {
+			t.Errorf("%s: home accuracy missing", r.Service)
+		}
+	}
+}
+
+func TestStallLearningCurve(t *testing.T) {
+	s := testSuite(t)
+	curve := s.StallLearningCurve([]int{200, 800})
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for _, p := range curve {
+		if p.Accuracy <= 0.5 || p.Accuracy > 1 {
+			t.Errorf("accuracy %.3f at n=%d implausible", p.Accuracy, p.Sessions)
+		}
+	}
+	// more data should not make things dramatically worse
+	if curve[1].Accuracy < curve[0].Accuracy-0.1 {
+		t.Errorf("accuracy degraded with more data: %v", curve)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vqoe/internal/ml"
+	"vqoe/internal/stats"
+)
+
+// Renderers turn experiment results into the terminal tables the cmd
+// tools print. They mirror the layout of the paper's tables so a
+// side-by-side comparison is direct.
+
+// RenderGains prints a feature/gain table (Tables 2 and 5).
+func RenderGains(w io.Writer, title string, gains []ml.RankedFeature) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10s  %s\n", "info. gain", "feature")
+	for _, g := range gains {
+		fmt.Fprintf(w, "%10.2f  %s\n", g.Gain, g.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderConfusion prints the per-class metrics and row-percentage
+// confusion matrix (Tables 3/4, 6/7, 8/9, 10/11).
+func RenderConfusion(w io.Writer, title string, c *ml.Confusion) {
+	fmt.Fprintf(w, "%s (accuracy %.1f%%, n=%d)\n", title, 100*c.Accuracy(), c.Total())
+	fmt.Fprint(w, c.String())
+	fmt.Fprintln(w)
+}
+
+// RenderSwitchEval prints the two switch-detection rates.
+func RenderSwitchEval(w io.Writer, title string, steadyBelow, varyingAbove float64, steadyN, varyingN int) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  sessions without variance below threshold: %5.1f%% (n=%d)\n", 100*steadyBelow, steadyN)
+	fmt.Fprintf(w, "  sessions with variance above threshold:    %5.1f%% (n=%d)\n", 100*varyingAbove, varyingN)
+	fmt.Fprintln(w)
+}
+
+// RenderECDF prints an ASCII CDF plot with a few numeric quantiles.
+func RenderECDF(w io.Writer, title string, e *stats.ECDF) {
+	fmt.Fprint(w, e.RenderASCII(title, 56, 10))
+	fmt.Fprintf(w, "  quantiles: p10=%.3g p50=%.3g p90=%.3g p99=%.3g (n=%d)\n\n",
+		e.Quantile(0.10), e.Quantile(0.50), e.Quantile(0.90), e.Quantile(0.99), e.Len())
+}
+
+// RenderSeries prints an (x, y) series as aligned columns, capped at
+// maxRows evenly spaced samples.
+func RenderSeries(w io.Writer, title string, xs, ys []float64, xName, yName string, maxRows int) {
+	fmt.Fprintf(w, "%s\n%12s %12s\n", title, xName, yName)
+	n := len(xs)
+	if n == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	step := 1
+	if maxRows > 0 && n > maxRows {
+		step = n / maxRows
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(w, "%12.2f %12.2f\n", xs[i], ys[i])
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAblation prints reference-vs-variant rows.
+func RenderAblation(w io.Writer, results []AblationResult) {
+	width := 0
+	for _, r := range results {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-*s  reference %.3f → variant %.3f\n", width, r.Name, r.Reference, r.Variant)
+	}
+	fmt.Fprintln(w)
+}
+
+// Banner prints a section header.
+func Banner(w io.Writer, s string) {
+	fmt.Fprintf(w, "%s\n%s\n", s, strings.Repeat("=", len(s)))
+}

@@ -1,0 +1,49 @@
+package features
+
+import (
+	"testing"
+
+	"vqoe/internal/stats"
+)
+
+func benchObs(chunks int) SessionObs {
+	r := stats.NewRand(1)
+	obs := SessionObs{Chunks: make([]ChunkObs, chunks)}
+	t := 0.0
+	for i := range obs.Chunks {
+		t += 2 + r.Float64()*4
+		obs.Chunks[i] = ChunkObs{
+			Time: t, SizeKB: 100 + r.Float64()*500, DurationSec: 0.5 + r.Float64(),
+			RTTMin: 0.05, RTTAvg: 0.08, RTTMax: 0.12,
+			BDP: 5e4, BIFAvg: 3e4, BIFMax: 6e4,
+		}
+	}
+	return obs
+}
+
+func BenchmarkStallFeatures(b *testing.B) {
+	obs := benchObs(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StallFeatures(obs)
+	}
+}
+
+func BenchmarkRepFeatures(b *testing.B) {
+	obs := benchObs(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RepFeatures(obs)
+	}
+}
+
+func BenchmarkSwitchSeries(b *testing.B) {
+	obs := benchObs(120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SwitchSeries(obs, StartupFilterSec)
+	}
+}

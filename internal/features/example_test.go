@@ -1,0 +1,41 @@
+package features_test
+
+import (
+	"fmt"
+
+	"vqoe/internal/features"
+)
+
+// The paper's labelling rules, applied directly.
+func ExampleLabelStall() {
+	for _, rr := range []float64{0, 0.05, 0.4} {
+		fmt.Printf("RR=%.2f → %s\n", rr, features.LabelStall(rr))
+	}
+	// Output:
+	// RR=0.00 → no stalls
+	// RR=0.05 → mild stalls
+	// RR=0.40 → severe stalls
+}
+
+func ExampleLabelRepresentation() {
+	for _, mu := range []float64{240, 420, 720} {
+		fmt.Printf("μ=%.0f → %s\n", mu, features.LabelRepresentation(mu))
+	}
+	// Output:
+	// μ=240 → LD
+	// μ=420 → SD
+	// μ=720 → HD
+}
+
+// SwitchSeries computes the Δsize×Δt product series the CUSUM change
+// detector runs on (§4.3), after the startup filter.
+func ExampleSwitchSeries() {
+	obs := features.SessionObs{Chunks: []features.ChunkObs{
+		{Time: 15, SizeKB: 100},
+		{Time: 20, SizeKB: 100}, // steady
+		{Time: 22, SizeKB: 300}, // switch: +200 KB after 2 s
+	}}
+	fmt.Println(features.SwitchSeries(obs, features.StartupFilterSec))
+	// Output:
+	// [0 400]
+}

@@ -1,0 +1,296 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vqoe/internal/netsim"
+	"vqoe/internal/player"
+	"vqoe/internal/stats"
+	"vqoe/internal/video"
+	"vqoe/internal/weblog"
+)
+
+func sessionObs(t *testing.T, seed int64, encrypted bool) (SessionObs, *player.SessionTrace) {
+	t.Helper()
+	r := stats.NewRand(seed)
+	cat := video.NewCatalog(1, r)
+	v := cat.Videos[0]
+	v.Duration = 120
+	net := &netsim.Scripted{Steps: []netsim.ScriptStep{
+		{Cond: netsim.Conditions{BandwidthBps: 3e6, RTT: 0.08, LossProb: 0.003}},
+	}}
+	tr := player.Run(v, net, player.DefaultConfig(player.Adaptive), r.Fork())
+	entries := weblog.FromTrace(tr, weblog.Options{Encrypted: encrypted})
+	return FromEntries(entries), tr
+}
+
+func TestFromEntriesMediaOnlyAndRebased(t *testing.T) {
+	obs, tr := sessionObs(t, 1, false)
+	if obs.Len() != len(tr.Chunks) {
+		t.Errorf("obs has %d chunks, trace has %d", obs.Len(), len(tr.Chunks))
+	}
+	if obs.Chunks[0].Time != 0 {
+		t.Errorf("first chunk time %v, want 0 (rebased)", obs.Chunks[0].Time)
+	}
+	for i := 1; i < obs.Len(); i++ {
+		if obs.Chunks[i].Time < obs.Chunks[i-1].Time {
+			t.Fatal("chunks not time-ordered")
+		}
+	}
+}
+
+func TestEncryptedAndCleartextFeaturesAgree(t *testing.T) {
+	clear, _ := sessionObs(t, 2, false)
+	enc, _ := sessionObs(t, 2, true)
+	// identical session rendered in both views must produce identical
+	// feature vectors — this is the property that lets a
+	// cleartext-trained model run on encrypted traffic
+	cf := StallFeatures(clear)
+	ef := StallFeatures(enc)
+	for i := range cf {
+		if math.Abs(cf[i]-ef[i]) > 1e-9 {
+			t.Fatalf("feature %d differs: %v vs %v", i, cf[i], ef[i])
+		}
+	}
+}
+
+func TestStallFeatureDimensions(t *testing.T) {
+	names := StallFeatureNames()
+	if len(names) != 70 {
+		t.Fatalf("stall set has %d features, want 70", len(names))
+	}
+	obs, _ := sessionObs(t, 3, false)
+	vec := StallFeatures(obs)
+	if len(vec) != 70 {
+		t.Fatalf("stall vector has %d values, want 70", len(vec))
+	}
+	// the paper's Table 2 features must exist under these names
+	for _, want := range []string{"chunk size min", "chunk size std", "BDP mean", "packet retransmissions max"} {
+		if !containsName(names, want) {
+			t.Errorf("missing feature %q", want)
+		}
+	}
+}
+
+func TestRepFeatureDimensions(t *testing.T) {
+	names := RepFeatureNames()
+	if len(names) != 210 {
+		t.Fatalf("rep set has %d features, want 210", len(names))
+	}
+	obs, _ := sessionObs(t, 4, false)
+	vec := RepFeatures(obs)
+	if len(vec) != 210 {
+		t.Fatalf("rep vector has %d values, want 210", len(vec))
+	}
+	// Table 5 names
+	for _, want := range []string{
+		"chunk size 75%", "chunk size 85%", "chunk size 90%", "chunk size 50%",
+		"chunk size max", "chunk avg size mean", "BIF avg max",
+		"cusum throughput min", "chunk Δsize max", "chunk size std",
+		"chunk Δsize std", "chunk Δt 25%", "BDP 90%", "BIF maximum min",
+		"RTT minimum min",
+	} {
+		if !containsName(names, want) {
+			t.Errorf("missing feature %q", want)
+		}
+	}
+}
+
+func containsName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFeatureVectorFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		obs := SessionObs{}
+		n := r.Intn(20)
+		tm := 0.0
+		for i := 0; i < n; i++ {
+			tm += r.Float64() * 10
+			obs.Chunks = append(obs.Chunks, ChunkObs{
+				Time: tm, SizeKB: r.Float64() * 1000, DurationSec: r.Float64() * 5,
+				RTTAvg: r.Float64(), BDP: r.Float64() * 1e5,
+			})
+		}
+		for _, v := range append(StallFeatures(obs), RepFeatures(obs)...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptySessionFeaturesAreZero(t *testing.T) {
+	var obs SessionObs
+	for _, v := range StallFeatures(obs) {
+		if v != 0 {
+			t.Fatal("empty session should produce zero features")
+		}
+	}
+	if len(RepFeatures(obs)) != 210 {
+		t.Error("dimension must not depend on data")
+	}
+}
+
+func TestChunkSizeMinTracksQualityDrop(t *testing.T) {
+	// two synthetic sessions: one steady, one whose chunk sizes crater
+	steady := SessionObs{}
+	dropped := SessionObs{}
+	for i := 0; i < 40; i++ {
+		c := ChunkObs{Time: float64(i) * 5, SizeKB: 600, DurationSec: 1}
+		steady.Chunks = append(steady.Chunks, c)
+		if i > 20 {
+			c.SizeKB = 80 // post-stall small chunks
+		}
+		dropped.Chunks = append(dropped.Chunks, c)
+	}
+	names := StallFeatureNames()
+	idx := indexOf(names, "chunk size min")
+	sv := StallFeatures(steady)[idx]
+	dv := StallFeatures(dropped)[idx]
+	if dv >= sv {
+		t.Errorf("chunk size min should drop: steady %v, dropped %v", sv, dv)
+	}
+	stdIdx := indexOf(names, "chunk size std")
+	if StallFeatures(dropped)[stdIdx] <= StallFeatures(steady)[stdIdx] {
+		t.Error("chunk size std should rise for the session with a quality crater")
+	}
+}
+
+func indexOf(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLabelStall(t *testing.T) {
+	cases := []struct {
+		rr   float64
+		want StallLabel
+	}{
+		{0, NoStall}, {-0.1, NoStall},
+		{0.001, MildStall}, {0.1, MildStall},
+		{0.100001, SevereStall}, {0.9, SevereStall},
+	}
+	for _, c := range cases {
+		if got := LabelStall(c.rr); got != c.want {
+			t.Errorf("LabelStall(%v) = %v, want %v", c.rr, got, c.want)
+		}
+	}
+	if NoStall.String() != "no stalls" || SevereStall.String() != "severe stalls" {
+		t.Error("stall label names wrong")
+	}
+}
+
+func TestLabelRepresentation(t *testing.T) {
+	cases := []struct {
+		mu   float64
+		want RepLabel
+	}{
+		{144, LD}, {359.9, LD},
+		{360, SD}, {480, SD},
+		{480.1, HD}, {1080, HD},
+	}
+	for _, c := range cases {
+		if got := LabelRepresentation(c.mu); got != c.want {
+			t.Errorf("LabelRepresentation(%v) = %v, want %v", c.mu, got, c.want)
+		}
+	}
+	if LD.String() != "LD" || HD.String() != "HD" {
+		t.Error("rep label names wrong")
+	}
+}
+
+func TestVariationAndLabel(t *testing.T) {
+	if Variation(0, 0) != 0 {
+		t.Error("no switches → Var 0")
+	}
+	if LabelVariation(0) != NoVariation {
+		t.Error("Var 0 should be no variation")
+	}
+	v := Variation(2, 200)
+	if LabelVariation(v) != MildVariation {
+		t.Errorf("Var %v should be mild", v)
+	}
+	if LabelVariation(Variation(8, 400)) != HighVariation {
+		t.Error("many large switches should be high variation")
+	}
+	if MildVariation.String() != "mild variation" {
+		t.Error("var label names wrong")
+	}
+}
+
+func TestSwitchSeriesStartupFilter(t *testing.T) {
+	obs := SessionObs{}
+	for i := 0; i < 30; i++ {
+		obs.Chunks = append(obs.Chunks, ChunkObs{
+			Time: float64(i), SizeKB: 100 + float64(i),
+		})
+	}
+	series := SwitchSeries(obs, StartupFilterSec)
+	// chunks at t >= 10 remain: 20 chunks → 19 deltas
+	if len(series) != 19 {
+		t.Errorf("series length %d, want 19", len(series))
+	}
+	if SwitchSeries(SessionObs{}, StartupFilterSec) != nil {
+		t.Error("empty session should return nil")
+	}
+	short := SessionObs{Chunks: []ChunkObs{{Time: 11}, {Time: 12}}}
+	if SwitchSeries(short, StartupFilterSec) != nil {
+		t.Error("too-short session should return nil")
+	}
+}
+
+func TestSwitchSeriesProductUnits(t *testing.T) {
+	// Δsize = +200 KB, Δt = 2 s → product 400 KB·s
+	obs := SessionObs{Chunks: []ChunkObs{
+		{Time: 20, SizeKB: 100},
+		{Time: 22, SizeKB: 300},
+		{Time: 24, SizeKB: 300},
+	}}
+	series := SwitchSeries(obs, StartupFilterSec)
+	if len(series) != 2 {
+		t.Fatalf("series %v", series)
+	}
+	if math.Abs(series[0]-400) > 1e-9 {
+		t.Errorf("product = %v, want 400", series[0])
+	}
+	if series[1] != 0 {
+		t.Errorf("steady product = %v, want 0", series[1])
+	}
+}
+
+func TestThroughputKBps(t *testing.T) {
+	c := ChunkObs{SizeKB: 500, DurationSec: 2}
+	if c.ThroughputKBps() != 250 {
+		t.Errorf("throughput = %v", c.ThroughputKBps())
+	}
+	if (ChunkObs{SizeKB: 10}).ThroughputKBps() != 0 {
+		t.Error("zero duration should yield 0")
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	got := runningMean([]float64{2, 4, 6})
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runningMean = %v, want %v", got, want)
+		}
+	}
+}

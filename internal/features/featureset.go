@@ -1,0 +1,129 @@
+package features
+
+import (
+	"vqoe/internal/stats"
+	"vqoe/internal/timeseries"
+)
+
+// A metric is one named per-chunk series.
+type metric struct {
+	name   string
+	series func(SessionObs) []float64
+}
+
+// baseMetrics are the ten Table-1 network features, one series per
+// chunk.
+var baseMetrics = []metric{
+	{"RTT minimum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTMin }) }},
+	{"RTT average", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTAvg }) }},
+	{"RTT maximum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTMax }) }},
+	{"BDP", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BDP }) }},
+	{"BIF avg", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BIFAvg }) }},
+	{"BIF maximum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BIFMax }) }},
+	{"packet loss", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.LossPct }) }},
+	{"packet retransmissions", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RetransPct }) }},
+	{"chunk size", func(s SessionObs) []float64 { return s.sizes() }},
+}
+
+// chunkTimeMetric completes the stall set's ten metrics.
+var chunkTimeMetric = metric{"chunk time", func(s SessionObs) []float64 { return s.times() }}
+
+// constructedMetrics are the five engineered series of §4.2: the
+// running chunk average size, the chunk size delta, the inter-arrival
+// delta, the per-chunk throughput, and its CUSUM chart.
+var constructedMetrics = []metric{
+	{"chunk avg size", func(s SessionObs) []float64 { return runningMean(s.sizes()) }},
+	{"chunk Δsize", func(s SessionObs) []float64 { return stats.Diff(s.sizes()) }},
+	{"chunk Δt", func(s SessionObs) []float64 { return stats.Diff(s.times()) }},
+	{"throughput", func(s SessionObs) []float64 { return s.throughputs() }},
+	{"cusum throughput", func(s SessionObs) []float64 { return timeseries.Chart(s.throughputs()) }},
+}
+
+// A stat is one named summary statistic of a series.
+type stat struct {
+	name  string
+	apply func(stats.Summary) float64
+}
+
+func pct(p float64) func(stats.Summary) float64 {
+	return func(s stats.Summary) float64 { return s.Percentile(p) }
+}
+
+// stallStats are the seven summary statistics of §4.1.
+var stallStats = []stat{
+	{"min", func(s stats.Summary) float64 { return s.Min }},
+	{"mean", func(s stats.Summary) float64 { return s.Mean }},
+	{"max", func(s stats.Summary) float64 { return s.Max }},
+	{"std", func(s stats.Summary) float64 { return s.Std }},
+	{"25%", pct(25)},
+	{"50%", pct(50)},
+	{"75%", pct(75)},
+}
+
+// repStats are the fifteen summary statistics of §4.2.
+var repStats = []stat{
+	{"min", func(s stats.Summary) float64 { return s.Min }},
+	{"mean", func(s stats.Summary) float64 { return s.Mean }},
+	{"max", func(s stats.Summary) float64 { return s.Max }},
+	{"std", func(s stats.Summary) float64 { return s.Std }},
+	{"5%", pct(5)},
+	{"10%", pct(10)},
+	{"15%", pct(15)},
+	{"20%", pct(20)},
+	{"25%", pct(25)},
+	{"50%", pct(50)},
+	{"75%", pct(75)},
+	{"80%", pct(80)},
+	{"85%", pct(85)},
+	{"90%", pct(90)},
+	{"95%", pct(95)},
+}
+
+func stallMetrics() []metric {
+	ms := append([]metric(nil), baseMetrics...)
+	return append(ms, chunkTimeMetric)
+}
+
+func repMetrics() []metric {
+	ms := append([]metric(nil), baseMetrics...)
+	return append(ms, constructedMetrics...)
+}
+
+func buildNames(ms []metric, ss []stat) []string {
+	names := make([]string, 0, len(ms)*len(ss))
+	for _, m := range ms {
+		for _, st := range ss {
+			names = append(names, m.name+" "+st.name)
+		}
+	}
+	return names
+}
+
+func buildVector(obs SessionObs, ms []metric, ss []stat) []float64 {
+	out := make([]float64, 0, len(ms)*len(ss))
+	for _, m := range ms {
+		sum := stats.Summarize(m.series(obs))
+		for _, st := range ss {
+			if sum.N == 0 {
+				out = append(out, 0)
+				continue
+			}
+			out = append(out, st.apply(sum))
+		}
+	}
+	return out
+}
+
+// StallFeatureNames returns the 70 feature names of the stall set
+// (10 metrics × 7 statistics).
+func StallFeatureNames() []string { return buildNames(stallMetrics(), stallStats) }
+
+// StallFeatures computes the stall feature vector of a session.
+func StallFeatures(obs SessionObs) []float64 { return buildVector(obs, stallMetrics(), stallStats) }
+
+// RepFeatureNames returns the 210 feature names of the representation
+// set (14 metrics × 15 statistics).
+func RepFeatureNames() []string { return buildNames(repMetrics(), repStats) }
+
+// RepFeatures computes the representation feature vector of a session.
+func RepFeatures(obs SessionObs) []float64 { return buildVector(obs, repMetrics(), repStats) }

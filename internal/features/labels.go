@@ -1,0 +1,104 @@
+package features
+
+// StallLabel is the three-level stalling class of §4.1.
+type StallLabel int
+
+// Stall classes.
+const (
+	NoStall StallLabel = iota
+	MildStall
+	SevereStall
+)
+
+// StallLabelNames lists the class names in label order.
+var StallLabelNames = []string{"no stalls", "mild stalls", "severe stalls"}
+
+// String names the label.
+func (l StallLabel) String() string { return StallLabelNames[l] }
+
+// severeRR is the Rebuffering Ratio boundary between mild and severe
+// stalling; above it users abandon the video (Krishnan et al., §4.1).
+const severeRR = 0.1
+
+// LabelStall applies the paper's labelling rule to a Rebuffering Ratio:
+// RR = 0 → no stalling, 0 < RR ≤ 0.1 → mild, RR > 0.1 → severe.
+func LabelStall(rr float64) StallLabel {
+	switch {
+	case rr <= 0:
+		return NoStall
+	case rr <= severeRR:
+		return MildStall
+	default:
+		return SevereStall
+	}
+}
+
+// RepLabel is the average representation class of §4.2.
+type RepLabel int
+
+// Representation classes.
+const (
+	LD RepLabel = iota
+	SD
+	HD
+)
+
+// RepLabelNames lists the class names in label order.
+var RepLabelNames = []string{"LD", "SD", "HD"}
+
+// String names the label.
+func (l RepLabel) String() string { return RepLabelNames[l] }
+
+// LabelRepresentation applies the RQ rule to the session's mean chunk
+// resolution μ: μ < 360 → LD, 360 ≤ μ ≤ 480 → SD, μ > 480 → HD.
+func LabelRepresentation(mu float64) RepLabel {
+	switch {
+	case mu > 480:
+		return HD
+	case mu >= 360:
+		return SD
+	default:
+		return LD
+	}
+}
+
+// VarLabel is the representation-variation class of §4.3.
+type VarLabel int
+
+// Variation classes.
+const (
+	NoVariation VarLabel = iota
+	MildVariation
+	HighVariation
+)
+
+// VarLabelNames lists the class names in label order.
+var VarLabelNames = []string{"no variation", "mild variation", "high variation"}
+
+// String names the label.
+func (l VarLabel) String() string { return VarLabelNames[l] }
+
+// Variation combines the switch frequency F and the normalized switch
+// amplitude A (eq. 2) into the single indicator Var by linear
+// combination (§4.3). The amplitude is expressed in ladder-resolution
+// units; one ladder step (~120–360 lines) weighs comparably to one
+// additional switch.
+func Variation(frequency int, amplitude float64) float64 {
+	return float64(frequency) + amplitude/200
+}
+
+// mildVarMax bounds the "mild variation" class: above it the session
+// is highly variable.
+const mildVarMax = 4.0
+
+// LabelVariation classifies a session's Var value.
+func LabelVariation(v float64) VarLabel {
+	switch {
+	case v <= 0:
+		return NoVariation
+	case v <= mildVarMax:
+		return MildVariation
+	default:
+		return HighVariation
+	}
+}

@@ -1,0 +1,130 @@
+// Package features turns per-chunk traffic observations into the
+// paper's model inputs: the 70-feature stall set (§4.1), the
+// 210-feature representation set (§4.2), the Δsize×Δt switch-detection
+// series (§4.3), and the labelling rules (RR, RQ, Var).
+//
+// Everything here is computed from information available for encrypted
+// flows — the left column of Table 1. Ground truth never enters a
+// feature vector.
+package features
+
+import (
+	"sort"
+
+	"vqoe/internal/weblog"
+)
+
+// ChunkObs is one media chunk download as the proxy sees it.
+type ChunkObs struct {
+	// Time is the chunk arrival time relative to the session's first
+	// chunk ("chunk time", §3.1).
+	Time float64
+	// SizeKB is the object size in kilobytes.
+	SizeKB float64
+	// DurationSec is the transaction time.
+	DurationSec float64
+
+	RTTMin, RTTAvg, RTTMax float64 // seconds
+	BDP                    float64 // bytes
+	BIFAvg, BIFMax         float64 // bytes
+	LossPct, RetransPct    float64
+}
+
+// ThroughputKBps returns the chunk goodput in KB/s.
+func (c ChunkObs) ThroughputKBps() float64 {
+	if c.DurationSec <= 0 {
+		return 0
+	}
+	return c.SizeKB / c.DurationSec
+}
+
+// SessionObs is the time-ordered chunk sequence of one session.
+type SessionObs struct {
+	Chunks []ChunkObs
+}
+
+// FromEntries assembles a SessionObs from a session's weblog entries,
+// keeping only media chunk downloads (signalling carries no transport
+// annotations worth modelling). Entries may be cleartext or encrypted —
+// the observation uses only TLS-surviving fields. Chunk times are
+// rebased to the first chunk.
+func FromEntries(entries []weblog.Entry) SessionObs {
+	var obs SessionObs
+	for _, e := range entries {
+		if !e.IsVideoHost() {
+			continue
+		}
+		obs.Chunks = append(obs.Chunks, ChunkObs{
+			Time:        e.Timestamp + e.TransactionSec,
+			SizeKB:      float64(e.Bytes) / 1000,
+			DurationSec: e.TransactionSec,
+			RTTMin:      e.RTTMin,
+			RTTAvg:      e.RTTAvg,
+			RTTMax:      e.RTTMax,
+			BDP:         e.BDP,
+			BIFAvg:      e.BIFAvg,
+			BIFMax:      e.BIFMax,
+			LossPct:     e.LossPct,
+			RetransPct:  e.RetransPct,
+		})
+	}
+	sort.Slice(obs.Chunks, func(i, j int) bool {
+		return obs.Chunks[i].Time < obs.Chunks[j].Time
+	})
+	if len(obs.Chunks) > 0 {
+		base := obs.Chunks[0].Time
+		for i := range obs.Chunks {
+			obs.Chunks[i].Time -= base
+		}
+	}
+	return obs
+}
+
+// Len returns the number of chunks.
+func (s SessionObs) Len() int { return len(s.Chunks) }
+
+// series extracts one named per-chunk series.
+func (s SessionObs) sizes() []float64 {
+	out := make([]float64, len(s.Chunks))
+	for i, c := range s.Chunks {
+		out[i] = c.SizeKB
+	}
+	return out
+}
+
+func (s SessionObs) times() []float64 {
+	out := make([]float64, len(s.Chunks))
+	for i, c := range s.Chunks {
+		out[i] = c.Time
+	}
+	return out
+}
+
+func (s SessionObs) throughputs() []float64 {
+	out := make([]float64, len(s.Chunks))
+	for i, c := range s.Chunks {
+		out[i] = c.ThroughputKBps()
+	}
+	return out
+}
+
+func (s SessionObs) field(f func(ChunkObs) float64) []float64 {
+	out := make([]float64, len(s.Chunks))
+	for i, c := range s.Chunks {
+		out[i] = f(c)
+	}
+	return out
+}
+
+// runningMean returns the cumulative average of xs: out[i] is the mean
+// of xs[0..i] — the "chunk average size" constructed feature evolves
+// along the session.
+func runningMean(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		out[i] = sum / float64(i+1)
+	}
+	return out
+}

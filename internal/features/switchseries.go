@@ -1,0 +1,36 @@
+package features
+
+// StartupFilterSec is the initial slice of every session removed before
+// switch detection: the fast-start phase has very different segment
+// sizes and inter-arrival times than the steady state and would pollute
+// the change-detection signal (§4.3). Ten seconds is under 5% of the
+// ~180 s average session.
+const StartupFilterSec = 10.0
+
+// SwitchSeries computes the per-chunk product Δsize × Δt (KB·s) after
+// dropping the first skipSec seconds of the session. This product is
+// the series the CUSUM change detector runs on: a representation
+// switch triggers a new fast-start ramp whose sizes and inter-arrivals
+// both deviate from steady state, and multiplying the two deltas
+// "combines but at the same time emphasizes" each effect (§4.3).
+//
+// Sessions shorter than skipSec or with fewer than three remaining
+// chunks return nil.
+func SwitchSeries(obs SessionObs, skipSec float64) []float64 {
+	var kept []ChunkObs
+	for _, c := range obs.Chunks {
+		if c.Time >= skipSec {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) < 3 {
+		return nil
+	}
+	out := make([]float64, 0, len(kept)-1)
+	for i := 1; i < len(kept); i++ {
+		dsize := kept[i].SizeKB - kept[i-1].SizeKB
+		dt := kept[i].Time - kept[i-1].Time
+		out = append(out, dsize*dt)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"testing"
+
+	"vqoe/internal/stats"
+)
+
+func benchDataset(n, feats int) *Dataset {
+	r := stats.NewRand(1)
+	names := make([]string, feats)
+	for i := range names {
+		names[i] = "f" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	ds := NewDataset(names, []string{"a", "b", "c"})
+	for i := 0; i < n; i++ {
+		row := make([]float64, feats)
+		c := i % 3
+		for j := range row {
+			row[j] = r.Normal(float64(c*3), 2)
+		}
+		ds.Add(row, c)
+	}
+	return ds
+}
+
+func BenchmarkTrainTree(b *testing.B) {
+	ds := benchDataset(2000, 10)
+	r := stats.NewRand(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainTree(ds, TreeConfig{MinLeaf: 2, MaxThresholds: 64}, r)
+	}
+}
+
+func BenchmarkTrainForest(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainForest(ds, ForestConfig{Trees: 20, Seed: int64(i)})
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 40, Seed: 1})
+	x := ds.X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(x)
+	}
+}
+
+func BenchmarkInfoGain(b *testing.B) {
+	ds := benchDataset(2000, 70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InfoGain(ds)
+	}
+}
+
+func BenchmarkCFSSelect(b *testing.B) {
+	ds := benchDataset(1000, 70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CFSSelect(ds, CFSConfig{MaxStale: 5})
+	}
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossValidate(ds, 5, ForestConfig{Trees: 10, Seed: 1}, 1)
+	}
+}

@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	"vqoe/internal/stats"
+)
+
+// Confusion is a confusion matrix with the derived per-class metrics the
+// paper reports (TP rate, FP rate, precision, recall — Tables 3/6/8/10).
+type Confusion struct {
+	Classes []string
+	// Counts[actual][predicted]
+	Counts [][]int
+}
+
+// NewConfusion allocates an empty matrix over the given classes.
+func NewConfusion(classes []string) *Confusion {
+	counts := make([][]int, len(classes))
+	for i := range counts {
+		counts[i] = make([]int, len(classes))
+	}
+	return &Confusion{Classes: classes, Counts: counts}
+}
+
+// Observe records one (actual, predicted) pair.
+func (c *Confusion) Observe(actual, predicted int) {
+	c.Counts[actual][predicted]++
+}
+
+// Merge adds another matrix (over the same classes) into this one.
+func (c *Confusion) Merge(o *Confusion) {
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// Total returns the number of observed instances.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy is the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+func (c *Confusion) actualTotal(i int) int {
+	n := 0
+	for _, v := range c.Counts[i] {
+		n += v
+	}
+	return n
+}
+
+func (c *Confusion) predictedTotal(j int) int {
+	n := 0
+	for i := range c.Counts {
+		n += c.Counts[i][j]
+	}
+	return n
+}
+
+// TPRate is the true-positive rate (= recall) of class i.
+func (c *Confusion) TPRate(i int) float64 {
+	n := c.actualTotal(i)
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Counts[i][i]) / float64(n)
+}
+
+// FPRate is the false-positive rate of class i: instances of other
+// classes predicted as i, over all instances of other classes.
+func (c *Confusion) FPRate(i int) float64 {
+	fp := c.predictedTotal(i) - c.Counts[i][i]
+	neg := c.Total() - c.actualTotal(i)
+	if neg == 0 {
+		return 0
+	}
+	return float64(fp) / float64(neg)
+}
+
+// Precision is TP / (TP + FP) for class i.
+func (c *Confusion) Precision(i int) float64 {
+	n := c.predictedTotal(i)
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Counts[i][i]) / float64(n)
+}
+
+// Recall is TP over all actual instances of class i.
+func (c *Confusion) Recall(i int) float64 { return c.TPRate(i) }
+
+// Weighted averages a per-class metric weighted by class support, as in
+// the paper's "weighted avg." rows.
+func (c *Confusion) Weighted(metric func(int) float64) float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range c.Classes {
+		sum += metric(i) * float64(c.actualTotal(i))
+	}
+	return sum / float64(total)
+}
+
+// RowPercent returns the matrix rows normalized to percentages, the
+// presentation used by the paper's confusion-matrix tables.
+func (c *Confusion) RowPercent() [][]float64 {
+	out := make([][]float64, len(c.Counts))
+	for i, row := range c.Counts {
+		out[i] = make([]float64, len(row))
+		n := c.actualTotal(i)
+		if n == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[i][j] = 100 * float64(v) / float64(n)
+		}
+	}
+	return out
+}
+
+// String renders the per-class metric table followed by the confusion
+// matrix in row percentages.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %9s %8s\n", "Class", "TP Rate", "FP Rate", "Precision", "Recall")
+	for i, name := range c.Classes {
+		fmt.Fprintf(&b, "%-16s %8.3f %8.3f %9.3f %8.3f\n",
+			name, c.TPRate(i), c.FPRate(i), c.Precision(i), c.Recall(i))
+	}
+	fmt.Fprintf(&b, "%-16s %8.3f %8.3f %9.3f %8.3f\n", "weighted avg.",
+		c.Weighted(c.TPRate), c.Weighted(c.FPRate), c.Weighted(c.Precision), c.Weighted(c.Recall))
+	fmt.Fprintf(&b, "\n%-16s", "actual\\predicted")
+	for _, name := range c.Classes {
+		fmt.Fprintf(&b, " %12s", name)
+	}
+	b.WriteByte('\n')
+	for i, row := range c.RowPercent() {
+		fmt.Fprintf(&b, "%-16s", c.Classes[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, " %11.2f%%", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Evaluate classifies every instance of test with the forest and
+// accumulates a confusion matrix.
+func Evaluate(f *Forest, test *Dataset) *Confusion {
+	conf := NewConfusion(test.Classes)
+	pred := f.PredictAll(test)
+	for i, p := range pred {
+		conf.Observe(test.Y[i], p)
+	}
+	return conf
+}
+
+// CrossValidate performs stratified k-fold cross-validation: for each
+// fold it balances the training split (undersampling to the minority
+// class, per the paper's protocol), trains a forest and tests on the
+// held-out fold at its natural class distribution. The per-fold
+// matrices are merged.
+func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64) *Confusion {
+	r := stats.NewRand(seed)
+	folds := ds.StratifiedFolds(k, r)
+	conf := NewConfusion(ds.Classes)
+	for f := range folds {
+		trainIdx, testIdx := Split(folds, f)
+		train := ds.Subset(trainIdx).Balance(r)
+		if train.Len() == 0 {
+			continue
+		}
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed + int64(f)
+		forest := TrainForest(train, foldCfg)
+		conf.Merge(Evaluate(forest, ds.Subset(testIdx)))
+	}
+	return conf
+}

@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"vqoe/internal/stats"
+)
+
+// ForestConfig controls Random Forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 60).
+	Trees int
+	// MaxDepth bounds each tree (0 = unbounded).
+	MaxDepth int
+	// MinLeaf is the minimum leaf size (default 2).
+	MinLeaf int
+	// FeaturesPerSplit is the per-node feature subsample; 0 selects
+	// ⌈√m⌉, the standard Random Forest choice.
+	FeaturesPerSplit int
+	// MaxThresholds caps split candidates per feature (default 64).
+	MaxThresholds int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults(numFeatures int) ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 60
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeaturesPerSplit <= 0 {
+		c.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(numFeatures))))
+	}
+	if c.MaxThresholds == 0 {
+		c.MaxThresholds = 64
+	}
+	return c
+}
+
+// Forest is a trained Random Forest classifier. It is safe for
+// concurrent prediction.
+type Forest struct {
+	Trees      []*Tree
+	Features   []string // schema the forest was trained on
+	Classes    []string
+	numClasses int
+}
+
+// TrainForest trains a Random Forest on ds: each tree sees a bootstrap
+// sample of the instances and examines a random feature subset at every
+// split. Training parallelizes across available CPUs but remains
+// deterministic for a given seed (each tree owns a derived source).
+func TrainForest(ds *Dataset, cfg ForestConfig) *Forest {
+	cfg = cfg.withDefaults(ds.NumFeatures())
+	f := &Forest{
+		Trees:      make([]*Tree, cfg.Trees),
+		Features:   append([]string(nil), ds.Names...),
+		Classes:    append([]string(nil), ds.Classes...),
+		numClasses: ds.NumClasses(),
+	}
+	// Pre-derive one seed per tree from the master seed so the result
+	// does not depend on goroutine scheduling.
+	master := stats.NewRand(cfg.Seed)
+	seeds := make([]int64, cfg.Trees)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	treeCfg := TreeConfig{
+		MaxDepth:         cfg.MaxDepth,
+		MinLeaf:          cfg.MinLeaf,
+		FeaturesPerSplit: cfg.FeaturesPerSplit,
+		MaxThresholds:    cfg.MaxThresholds,
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				r := stats.NewRand(seeds[t])
+				boot := bootstrap(ds, r)
+				f.Trees[t] = TrainTree(boot, treeCfg, r)
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	return f
+}
+
+func bootstrap(ds *Dataset, r *stats.Rand) *Dataset {
+	n := ds.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	return ds.Subset(idx)
+}
+
+// Predict returns the majority-vote class for one instance.
+func (f *Forest) Predict(x []float64) int {
+	return argmax(f.Proba(x))
+}
+
+// Proba returns the mean class distribution over all trees.
+func (f *Forest) Proba(x []float64) []float64 {
+	dist := make([]float64, f.numClasses)
+	for _, t := range f.Trees {
+		for c, p := range t.Proba(x) {
+			dist[c] += p
+		}
+	}
+	for c := range dist {
+		dist[c] /= float64(len(f.Trees))
+	}
+	return dist
+}
+
+// PredictAll classifies every instance of ds and returns the
+// predictions in row order.
+func (f *Forest) PredictAll(ds *Dataset) []int {
+	out := make([]int, ds.Len())
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ds.Len() {
+		workers = ds.Len()
+	}
+	if workers <= 1 {
+		for i, x := range ds.X {
+			out[i] = f.Predict(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (ds.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f.Predict(ds.X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

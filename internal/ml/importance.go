@@ -1,0 +1,123 @@
+package ml
+
+import (
+	"sort"
+
+	"vqoe/internal/stats"
+)
+
+// Model-inspection utilities: out-of-bag error estimation and
+// permutation feature importance. Neither appears in the paper's
+// method, but both are standard Random Forest diagnostics an operator
+// deploying the framework would want when deciding whether to retrain
+// after a service change (§7: "the models... need to be trained and
+// evaluated again with an updated dataset").
+
+// OOBResult reports the out-of-bag evaluation of a forest trained with
+// TrainForestOOB.
+type OOBResult struct {
+	// Confusion over instances that had at least one tree not trained
+	// on them.
+	Confusion *Confusion
+	// Covered is the number of instances with an OOB vote.
+	Covered int
+}
+
+// TrainForestOOB trains a Random Forest like TrainForest and
+// additionally scores every training instance with only the trees
+// whose bootstrap sample excluded it — an unbiased error estimate
+// without a held-out set.
+func TrainForestOOB(ds *Dataset, cfg ForestConfig) (*Forest, OOBResult) {
+	cfg = cfg.withDefaults(ds.NumFeatures())
+	master := stats.NewRand(cfg.Seed)
+	seeds := make([]int64, cfg.Trees)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	treeCfg := TreeConfig{
+		MaxDepth:         cfg.MaxDepth,
+		MinLeaf:          cfg.MinLeaf,
+		FeaturesPerSplit: cfg.FeaturesPerSplit,
+		MaxThresholds:    cfg.MaxThresholds,
+	}
+
+	f := &Forest{
+		Trees:      make([]*Tree, cfg.Trees),
+		Features:   append([]string(nil), ds.Names...),
+		Classes:    append([]string(nil), ds.Classes...),
+		numClasses: ds.NumClasses(),
+	}
+	n := ds.Len()
+	votes := make([][]float64, n)
+	for i := range votes {
+		votes[i] = make([]float64, ds.NumClasses())
+	}
+	hasVote := make([]bool, n)
+
+	for t := 0; t < cfg.Trees; t++ {
+		r := stats.NewRand(seeds[t])
+		idx := make([]int, n)
+		inBag := make([]bool, n)
+		for i := range idx {
+			j := r.Intn(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		tree := TrainTree(ds.Subset(idx), treeCfg, r)
+		f.Trees[t] = tree
+		for i := 0; i < n; i++ {
+			if inBag[i] {
+				continue
+			}
+			for c, p := range tree.Proba(ds.X[i]) {
+				votes[i][c] += p
+			}
+			hasVote[i] = true
+		}
+	}
+
+	conf := NewConfusion(ds.Classes)
+	covered := 0
+	for i := 0; i < n; i++ {
+		if !hasVote[i] {
+			continue
+		}
+		covered++
+		conf.Observe(ds.Y[i], argmax(votes[i]))
+	}
+	return f, OOBResult{Confusion: conf, Covered: covered}
+}
+
+// Importance is one feature's permutation importance: the accuracy
+// drop when that feature's column is shuffled.
+type Importance struct {
+	Name string
+	Drop float64
+}
+
+// PermutationImportance measures each feature's contribution to the
+// forest's accuracy on the given dataset: a feature whose permutation
+// barely moves accuracy carries little unique information. Returns
+// features ordered by descending drop.
+func PermutationImportance(f *Forest, ds *Dataset, seed int64) []Importance {
+	base := Evaluate(f, ds).Accuracy()
+	r := stats.NewRand(seed)
+	out := make([]Importance, ds.NumFeatures())
+	n := ds.Len()
+	for col := 0; col < ds.NumFeatures(); col++ {
+		// permute the column out-of-place
+		perm := r.Perm(n)
+		shuffled := &Dataset{Names: ds.Names, Classes: ds.Classes, Y: ds.Y}
+		shuffled.X = make([][]float64, n)
+		for i := range shuffled.X {
+			row := make([]float64, len(ds.X[i]))
+			copy(row, ds.X[i])
+			row[col] = ds.X[perm[i]][col]
+			shuffled.X[i] = row
+		}
+		acc := Evaluate(f, shuffled).Accuracy()
+		out[col] = Importance{Name: ds.Names[col], Drop: base - acc}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Drop > out[j].Drop })
+	return out
+}

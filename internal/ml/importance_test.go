@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"testing"
+)
+
+func TestTrainForestOOB(t *testing.T) {
+	ds := noisyThreeClass(600, 41)
+	f, oob := TrainForestOOB(ds, ForestConfig{Trees: 30, Seed: 1})
+	if len(f.Trees) != 30 {
+		t.Fatalf("forest has %d trees", len(f.Trees))
+	}
+	// with 30 trees nearly every instance is OOB for some tree
+	if oob.Covered < ds.Len()*9/10 {
+		t.Errorf("OOB covered only %d of %d", oob.Covered, ds.Len())
+	}
+	acc := oob.Confusion.Accuracy()
+	if acc < 0.75 {
+		t.Errorf("OOB accuracy %.3f too low for separable-ish data", acc)
+	}
+	// OOB estimate should roughly agree with held-out accuracy
+	test := noisyThreeClass(300, 42)
+	held := Evaluate(f, test).Accuracy()
+	if diff := acc - held; diff > 0.12 || diff < -0.12 {
+		t.Errorf("OOB %.3f vs held-out %.3f diverge", acc, held)
+	}
+}
+
+func TestTrainForestOOBPredictsLikeTrainForest(t *testing.T) {
+	ds := noisyThreeClass(300, 43)
+	f1, _ := TrainForestOOB(ds, ForestConfig{Trees: 10, Seed: 7})
+	f2 := TrainForest(ds, ForestConfig{Trees: 10, Seed: 7})
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 5, 0.5, float64(i) / 10}
+		if f1.Predict(x) != f2.Predict(x) {
+			t.Fatal("OOB training should produce the same forest for a seed")
+		}
+	}
+}
+
+func TestPermutationImportanceFindsSignal(t *testing.T) {
+	ds := informativeAndNoise(1500, 44)
+	f := TrainForest(ds, ForestConfig{Trees: 30, Seed: 2})
+	imp := PermutationImportance(f, ds, 3)
+	if len(imp) != ds.NumFeatures() {
+		t.Fatalf("%d importances", len(imp))
+	}
+	// the true signal (or its echo) must rank first
+	if imp[0].Name != "signal" && imp[0].Name != "echo" {
+		t.Errorf("top importance is %q", imp[0].Name)
+	}
+	if imp[0].Drop <= 0 {
+		t.Errorf("top importance drop %v not positive", imp[0].Drop)
+	}
+	// noise features must have near-zero drop
+	for _, im := range imp {
+		if (im.Name == "noise1" || im.Name == "noise2") && im.Drop > 0.05 {
+			t.Errorf("noise feature %s has drop %v", im.Name, im.Drop)
+		}
+	}
+}
+
+func TestPermutationImportanceDoesNotMutate(t *testing.T) {
+	ds := informativeAndNoise(200, 45)
+	f := TrainForest(ds, ForestConfig{Trees: 10, Seed: 2})
+	before := ds.X[0][0]
+	PermutationImportance(f, ds, 3)
+	if ds.X[0][0] != before {
+		t.Error("dataset mutated by importance computation")
+	}
+}

@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Persistence: trained forests serialize to a self-describing gob
+// stream so that an operator can train once on cleartext ground truth
+// and deploy the frozen model against live encrypted traffic.
+
+// nodeDTO is the exported on-wire form of a tree node.
+type nodeDTO struct {
+	Feature     int
+	Threshold   float64
+	Leaf        bool
+	Dist        []float64
+	Left, Right *nodeDTO
+}
+
+// forestDTO is the exported on-wire form of a Forest.
+type forestDTO struct {
+	Features []string
+	Classes  []string
+	Trees    []*nodeDTO
+}
+
+func toDTO(n *node) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Leaf:      n.leaf,
+		Dist:      n.dist,
+		Left:      toDTO(n.left),
+		Right:     toDTO(n.right),
+	}
+}
+
+func fromDTO(d *nodeDTO) *node {
+	if d == nil {
+		return nil
+	}
+	return &node{
+		feature:   d.Feature,
+		threshold: d.Threshold,
+		leaf:      d.Leaf,
+		dist:      d.Dist,
+		left:      fromDTO(d.Left),
+		right:     fromDTO(d.Right),
+	}
+}
+
+// Save writes the forest to w.
+func (f *Forest) Save(w io.Writer) error {
+	dto := forestDTO{
+		Features: f.Features,
+		Classes:  f.Classes,
+		Trees:    make([]*nodeDTO, len(f.Trees)),
+	}
+	for i, t := range f.Trees {
+		dto.Trees[i] = toDTO(t.root)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadForest reads a forest previously written with Save.
+func LoadForest(r io.Reader) (*Forest, error) {
+	var dto forestDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decoding forest: %w", err)
+	}
+	if len(dto.Trees) == 0 {
+		return nil, fmt.Errorf("ml: forest has no trees")
+	}
+	f := &Forest{
+		Features:   dto.Features,
+		Classes:    dto.Classes,
+		Trees:      make([]*Tree, len(dto.Trees)),
+		numClasses: len(dto.Classes),
+	}
+	for i, d := range dto.Trees {
+		if d == nil {
+			return nil, fmt.Errorf("ml: forest tree %d is empty", i)
+		}
+		f.Trees[i] = &Tree{root: fromDTO(d), numClasses: len(dto.Classes)}
+	}
+	return f, nil
+}

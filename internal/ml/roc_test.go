@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"vqoe/internal/stats"
+)
+
+func TestROCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2}
+	labels := []bool{true, true, false, false}
+	pts := ROC(scores, labels)
+	if auc := AUC(pts); math.Abs(auc-1) > 1e-9 {
+		t.Errorf("perfect ranking AUC %v, want 1", auc)
+	}
+}
+
+func TestROCInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(ROC(scores, labels)); auc > 1e-9 {
+		t.Errorf("inverted ranking AUC %v, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	r := stats.NewRand(1)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bernoulli(0.5)
+	}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC %v, want ≈0.5", auc)
+	}
+}
+
+func TestROCMonotoneAndBounded(t *testing.T) {
+	r := stats.NewRand(2)
+	scores := make([]float64, 500)
+	labels := make([]bool, 500)
+	for i := range scores {
+		labels[i] = r.Bernoulli(0.3)
+		base := 0.3
+		if labels[i] {
+			base = 0.6
+		}
+		scores[i] = base + r.Normal(0, 0.2)
+	}
+	pts := ROC(scores, labels)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR-1e-12 || pts[i].TPR < pts[i-1].TPR-1e-12 {
+			t.Fatal("ROC not monotone")
+		}
+	}
+	last := pts[len(pts)-1]
+	if math.Abs(last.TPR-1) > 1e-9 || math.Abs(last.FPR-1) > 1e-9 {
+		t.Errorf("ROC should end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+	auc := AUC(pts)
+	if auc <= 0.5 || auc > 1 {
+		t.Errorf("informative scores AUC %v", auc)
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Error("empty input should be nil")
+	}
+	if ROC([]float64{1, 2}, []bool{true, true}) != nil {
+		t.Error("single-class input should be nil")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Error("length mismatch should be nil")
+	}
+	if AUC(nil) != 0 {
+		t.Error("empty AUC should be 0")
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	pts := ROC(scores, labels)
+	// all ties collapse to one diagonal step → AUC 0.5
+	if auc := AUC(pts); math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("tied scores AUC %v, want 0.5", auc)
+	}
+}
+
+func TestBinaryScoresWithForest(t *testing.T) {
+	ds := linearlySeparable(600, 71)
+	f := TrainForest(ds, ForestConfig{Trees: 20, Seed: 1})
+	scores, labels := BinaryScores(f, ds, 1)
+	if len(scores) != ds.Len() || len(labels) != ds.Len() {
+		t.Fatal("dims wrong")
+	}
+	auc := AUC(ROC(scores, labels))
+	if auc < 0.98 {
+		t.Errorf("separable-data AUC %v, want ≈1", auc)
+	}
+}

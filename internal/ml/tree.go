@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"sort"
+
+	"vqoe/internal/stats"
+)
+
+// TreeConfig controls CART tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds the tree height; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of instances in a leaf (≥ 1).
+	MinLeaf int
+	// FeaturesPerSplit is the number of candidate features examined at
+	// each node; 0 means all. Random Forest sets this to √m.
+	FeaturesPerSplit int
+	// MaxThresholds caps candidate thresholds per feature (quantile
+	// subsampling) to keep induction fast on large nodes; 0 means all.
+	MaxThresholds int
+}
+
+// Tree is a trained CART classification tree.
+type Tree struct {
+	root       *node
+	numClasses int
+}
+
+type node struct {
+	// internal nodes
+	feature     int
+	threshold   float64
+	left, right *node
+	// leaves
+	leaf bool
+	dist []float64 // class probability distribution
+}
+
+// TrainTree induces a CART tree on ds using Gini impurity.
+func TrainTree(ds *Dataset, cfg TreeConfig, r *stats.Rand) *Tree {
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numClasses: ds.NumClasses()}
+	t.root = build(ds, idx, cfg, r, 0)
+	return t
+}
+
+func build(ds *Dataset, idx []int, cfg TreeConfig, r *stats.Rand, depth int) *node {
+	counts := classCounts(ds, idx)
+	if len(idx) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) ||
+		pure(counts) {
+		return leafNode(counts, len(idx))
+	}
+
+	feat, thresh, ok := bestSplit(ds, idx, counts, cfg, r)
+	if !ok {
+		return leafNode(counts, len(idx))
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if ds.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return leafNode(counts, len(idx))
+	}
+	return &node{
+		feature:   feat,
+		threshold: thresh,
+		left:      build(ds, left, cfg, r, depth+1),
+		right:     build(ds, right, cfg, r, depth+1),
+	}
+}
+
+func leafNode(counts []int, n int) *node {
+	dist := make([]float64, len(counts))
+	if n > 0 {
+		for i, c := range counts {
+			dist[i] = float64(c) / float64(n)
+		}
+	}
+	return &node{leaf: true, dist: dist}
+}
+
+func classCounts(ds *Dataset, idx []int) []int {
+	counts := make([]int, ds.NumClasses())
+	for _, i := range idx {
+		counts[ds.Y[i]]++
+	}
+	return counts
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit scans candidate (feature, threshold) pairs and returns the
+// one with the lowest weighted child Gini impurity.
+func bestSplit(ds *Dataset, idx []int, parentCounts []int, cfg TreeConfig, r *stats.Rand) (feat int, thresh float64, ok bool) {
+	m := ds.NumFeatures()
+	features := make([]int, m)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeaturesPerSplit > 0 && cfg.FeaturesPerSplit < m {
+		r.Shuffle(m, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeaturesPerSplit]
+	}
+
+	n := len(idx)
+	parentGini := gini(parentCounts, n)
+	best := parentGini - 1e-12 // must strictly improve
+	ok = false
+
+	type vy struct {
+		v float64
+		y int
+	}
+	pairs := make([]vy, n)
+	leftCounts := make([]int, ds.NumClasses())
+	rightCounts := make([]int, ds.NumClasses())
+
+	for _, f := range features {
+		for i, ix := range idx {
+			pairs[i] = vy{ds.X[ix][f], ds.Y[ix]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue // constant feature on this node
+		}
+		for i := range leftCounts {
+			leftCounts[i] = 0
+			rightCounts[i] = parentCounts[i]
+		}
+		// subsample split positions on very large nodes
+		stride := 1
+		if cfg.MaxThresholds > 0 && n > cfg.MaxThresholds {
+			stride = n / cfg.MaxThresholds
+		}
+		for i := 0; i < n-1; i++ {
+			leftCounts[pairs[i].y]++
+			rightCounts[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			if stride > 1 && i%stride != 0 {
+				continue
+			}
+			nl, nr := i+1, n-i-1
+			w := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(n)
+			if w < best {
+				best = w
+				feat = f
+				thresh = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// Predict returns the predicted class index for one instance.
+func (t *Tree) Predict(x []float64) int {
+	return argmax(t.Proba(x))
+}
+
+// Proba returns the class probability distribution at the leaf the
+// instance falls into.
+func (t *Tree) Proba(x []float64) []float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.dist
+}
+
+// Depth returns the height of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves counts the leaves of the tree.
+func (t *Tree) NumLeaves() int { return leaves(t.root) }
+
+func leaves(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,149 @@
+// Package mos maps the three impairments the framework detects onto a
+// Mean Opinion Score estimate, following the subjective-study results
+// the paper builds its problem statement on (§2.2): Hoßfeld et al.'s
+// crowdsourced YouTube stalling model [8], the resolution-quality
+// correlation of Lewcio et al. [10], and the switching amplitude and
+// frequency effects of Hoßfeld et al. [11].
+//
+// The paper itself stops at detecting impairment levels; this package
+// is the natural downstream consumer an operator would attach — it
+// turns a detection report into a user-facing score on the classic
+// 1 (bad) … 5 (excellent) ACR scale.
+package mos
+
+import (
+	"math"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/player"
+)
+
+// Score is a Mean Opinion Score on the 1–5 ACR scale.
+type Score float64
+
+// Verbal returns the standard ACR category of the score.
+func (s Score) Verbal() string {
+	switch {
+	case s >= 4.5:
+		return "excellent"
+	case s >= 3.5:
+		return "good"
+	case s >= 2.5:
+		return "fair"
+	case s >= 1.5:
+		return "poor"
+	default:
+		return "bad"
+	}
+}
+
+// clampScore bounds a raw estimate to the ACR scale.
+func clampScore(v float64) Score {
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return Score(v)
+}
+
+// StallMOS is Hoßfeld et al.'s exponential stalling model for YouTube
+// ([8], eq. for MOS under N stalls of mean duration T seconds):
+//
+//	MOS = 3.5·exp(−(0.15·T + 0.19)·N) + 1.5
+//
+// Two 3-second stalls already push a session below "fair", the
+// observation the paper's labelling thresholds encode.
+func StallMOS(stallCount int, meanStallSec float64) Score {
+	if stallCount <= 0 {
+		return 5
+	}
+	v := 3.5*math.Exp(-(0.15*meanStallSec+0.19)*float64(stallCount)) + 1.5
+	return clampScore(v)
+}
+
+// QualityMOS maps the session's average vertical resolution onto a
+// score with a logarithmic response (each quality doubling is worth
+// roughly the same opinion step, saturating at HD — consistent with
+// the subjective results of [10] that higher representations improve
+// QoE with diminishing returns).
+func QualityMOS(avgResolution float64) Score {
+	if avgResolution <= 0 {
+		return 1
+	}
+	// 144p ≈ 2.0, 360p ≈ 3.3, 480p ≈ 3.7, 720p ≈ 4.3, 1080p ≈ 4.9
+	v := 2.0 + 1.0*math.Log2(avgResolution/144)
+	return clampScore(v)
+}
+
+// SwitchMOS penalizes representation variation by amplitude and
+// frequency; the amplitude dominates, per [11]. freq is the number of
+// switches, amp the mean absolute resolution change per switch.
+func SwitchMOS(freq int, amp float64) Score {
+	if freq <= 0 {
+		return 5
+	}
+	ampSteps := amp / 240 // ≈ ladder steps
+	v := 5 - 0.9*ampSteps - 0.25*math.Min(float64(freq), 8)
+	return clampScore(v)
+}
+
+// Session combines the three components. Stalling dominates the
+// experience (a stalled session cannot be good no matter the picture),
+// so the combination is the stall score capped by the mean of the
+// quality and switching scores.
+func Session(stall, quality, sw Score) Score {
+	other := (float64(quality) + float64(sw)) / 2
+	v := math.Min(float64(stall), other+1.0)
+	if float64(stall) < v {
+		v = float64(stall)
+	}
+	// weighted blend keeps some influence of picture quality even for
+	// smooth sessions
+	v = 0.7*v + 0.3*math.Min(float64(stall), other)
+	return clampScore(v)
+}
+
+// FromTrace scores a session from its ground truth — the upper bound
+// an instrumented client could compute.
+func FromTrace(tr *player.SessionTrace) Score {
+	mean := 0.0
+	if n := tr.StallCount(); n > 0 {
+		mean = tr.TotalStallSeconds() / float64(n)
+	}
+	stall := StallMOS(tr.StallCount(), mean)
+	quality := QualityMOS(tr.AverageQuality())
+	sw := SwitchMOS(tr.SwitchFrequency(), tr.SwitchAmplitude())
+	return Session(stall, quality, sw)
+}
+
+// FromReport scores a session from the framework's detection report —
+// what the operator actually has for encrypted traffic. Detected
+// levels are mapped to representative impairment magnitudes.
+func FromReport(r core.Report) Score {
+	var stall Score
+	switch r.Stall {
+	case features.NoStall:
+		stall = 5
+	case features.MildStall:
+		stall = StallMOS(1, 4) // one moderate rebuffering event
+	default:
+		stall = StallMOS(3, 6) // repeated long stalls
+	}
+	var quality Score
+	switch r.Representation {
+	case features.HD:
+		quality = QualityMOS(720)
+	case features.SD:
+		quality = QualityMOS(420)
+	default:
+		quality = QualityMOS(240)
+	}
+	sw := Score(5)
+	if r.SwitchVariance {
+		sw = SwitchMOS(3, 240)
+	}
+	return Session(stall, quality, sw)
+}

@@ -1,0 +1,41 @@
+package netsim
+
+import (
+	"testing"
+
+	"vqoe/internal/stats"
+)
+
+func BenchmarkPathAt(b *testing.B) {
+	p := NewPath(CommuterProfile(), stats.NewRand(1))
+	p.At(10000) // pre-extend the timeline
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.At(float64(i % 10000))
+	}
+}
+
+func BenchmarkDownloadSmallChunk(b *testing.B) {
+	net := &Scripted{Steps: []ScriptStep{{Cond: Conditions{BandwidthBps: 3e6, RTT: 0.08, LossProb: 0.005}}}}
+	conn := NewConn(net, stats.NewRand(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		st := conn.Download(t, 300_000)
+		t = st.Start + st.Duration + 1
+	}
+}
+
+func BenchmarkDownloadLargeObject(b *testing.B) {
+	net := &Scripted{Steps: []ScriptStep{{Cond: Conditions{BandwidthBps: 6e6, RTT: 0.06, LossProb: 0.002}}}}
+	conn := NewConn(net, stats.NewRand(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		st := conn.Download(t, 10_000_000)
+		t = st.Start + st.Duration + 1
+	}
+}

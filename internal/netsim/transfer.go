@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"math"
+
+	"vqoe/internal/stats"
+)
+
+// MSS is the segment size assumed by the transfer model, bytes.
+const MSS = 1460
+
+// initialCwnd is the initial congestion window (10 segments, RFC 6928).
+const initialCwnd = 10 * MSS
+
+// TransferStats are the proxy-visible transport statistics of one
+// object download — exactly the network-feature column of Table 1.
+type TransferStats struct {
+	Start    float64 // request time, seconds from session origin
+	Duration float64 // download duration, seconds
+	Bytes    int     // object size
+
+	RTTMin, RTTAvg, RTTMax float64 // seconds
+	BDP                    float64 // bytes, mean over the transfer
+	BIFAvg, BIFMax         float64 // bytes in flight
+	LossPct                float64 // % of packets lost
+	RetransPct             float64 // % of packets retransmitted
+}
+
+// Throughput returns the achieved goodput in bytes/second.
+func (t TransferStats) Throughput() float64 {
+	if t.Duration <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.Duration
+}
+
+// Conn is a persistent TCP-like connection whose congestion state
+// carries across chunk downloads, as it does for a video player holding
+// one connection to a CDN edge. The zero value is not usable; create
+// with NewConn.
+type Conn struct {
+	net      Network
+	rng      *stats.Rand
+	cwnd     float64
+	ssthresh float64
+	lastUsed float64
+}
+
+// NewConn opens a connection over net.
+func NewConn(net Network, r *stats.Rand) *Conn {
+	return &Conn{
+		net:      net,
+		rng:      r,
+		cwnd:     initialCwnd,
+		ssthresh: 1e9,
+		lastUsed: -1,
+	}
+}
+
+// idleReset is the idle period after which the congestion window
+// collapses back to its initial value (RFC 5681 restart).
+const idleReset = 10.0
+
+// Download transfers size bytes starting at time start and returns the
+// transport statistics the proxy would log for the request.
+//
+// The model walks the condition timeline RTT by RTT: each round trip
+// delivers up to min(cwnd, BDP) bytes, loss events halve the window,
+// and otherwise the window grows by slow start below ssthresh or
+// congestion avoidance above it. This is deliberately a fluid
+// approximation — the detectors consume summary statistics, not packet
+// traces — but it preserves the correlations that matter: congested
+// paths yield low BDP, high retransmission counts and long downloads.
+func (c *Conn) Download(start float64, size int) TransferStats {
+	if size <= 0 {
+		return TransferStats{Start: start}
+	}
+	if c.lastUsed >= 0 && start-c.lastUsed > idleReset {
+		c.cwnd = initialCwnd
+		c.ssthresh = 1e9
+	}
+
+	st := TransferStats{Start: start, Bytes: size}
+	remaining := float64(size)
+	t := start
+
+	var (
+		rttSum, bifSum, bdpSum float64
+		rounds                 int
+		pktTotal, pktLost      float64
+		retrans                float64
+	)
+	st.RTTMin = 1e9
+
+	for remaining > 0 {
+		cond := c.net.At(t)
+		// sampled RTT includes queueing jitter growing with utilization
+		rtt := cond.RTT * (1 + 0.3*c.rng.Float64())
+		bdp := cond.BDPBytes()
+		if bdp < MSS {
+			bdp = MSS
+		}
+
+		inFlight := c.cwnd
+		if inFlight > bdp {
+			inFlight = bdp
+		}
+		if inFlight > remaining {
+			inFlight = remaining
+		}
+		if inFlight < MSS {
+			inFlight = MSS
+		}
+
+		pkts := inFlight / MSS
+		pktTotal += pkts
+		// per-round loss: probability any packet of the window is lost
+		lossEvent := c.rng.Bernoulli(1 - pow1p(-cond.LossProb, pkts))
+		delivered := inFlight
+		if lossEvent {
+			lost := 1 + c.rng.Intn(3)
+			pktLost += float64(lost)
+			retrans += float64(lost)
+			delivered -= float64(lost) * MSS
+			if delivered < 0 {
+				delivered = 0
+			}
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2*MSS {
+				c.ssthresh = 2 * MSS
+			}
+			c.cwnd = c.ssthresh
+			// retransmission costs an extra round trip's worth of time
+			rtt *= 1.5
+		} else {
+			if c.cwnd < c.ssthresh {
+				c.cwnd *= 2 // slow start
+			} else {
+				c.cwnd += MSS // congestion avoidance
+			}
+			if c.cwnd > 4*bdp {
+				c.cwnd = 4 * bdp // receive-window / buffer cap
+			}
+		}
+
+		remaining -= delivered
+		t += rtt
+		rounds++
+		rttSum += rtt
+		bifSum += inFlight
+		bdpSum += bdp
+		if rtt < st.RTTMin {
+			st.RTTMin = rtt
+		}
+		if rtt > st.RTTMax {
+			st.RTTMax = rtt
+		}
+		if inFlight > st.BIFMax {
+			st.BIFMax = inFlight
+		}
+	}
+
+	st.Duration = t - start
+	st.RTTAvg = rttSum / float64(rounds)
+	st.BIFAvg = bifSum / float64(rounds)
+	st.BDP = bdpSum / float64(rounds)
+	if pktTotal > 0 {
+		st.LossPct = 100 * pktLost / pktTotal
+		st.RetransPct = 100 * retrans / pktTotal
+	}
+	c.lastUsed = t
+	return st
+}
+
+// pow1p computes (1+x)^n, used for the per-round "no packet of the
+// window was lost" probability (1-p)^pkts with fractional pkts.
+func pow1p(x, n float64) float64 {
+	if x == 0 || n == 0 {
+		return 1
+	}
+	return math.Exp(n * math.Log1p(x))
+}

@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+)
+
+// Failure injection: a passive probe sees imperfect packet streams —
+// reordered frames from parallel capture queues, duplicated frames
+// from span ports, and dropped frames under load. The meter must
+// degrade gracefully, never crash, and keep byte counts sane.
+
+func injectionTrace(t *testing.T) []Packet {
+	t.Helper()
+	entries := []weblog.Entry{
+		oneEntry(300_000, 1.5, 0.08, 2),
+		oneEntry(500_000, 2.0, 0.08, 1),
+	}
+	entries[1].Timestamp = 30
+	return Synthesize(entries, stats.NewRand(9))
+}
+
+func meterBytes(pkts []Packet) int {
+	total := 0
+	for _, e := range MeterEntries(pkts) {
+		total += e.Bytes
+	}
+	return total
+}
+
+func TestMeterUnderLocalReordering(t *testing.T) {
+	pkts := injectionTrace(t)
+	want := meterBytes(pkts)
+
+	// swap adjacent same-flow frames within tiny windows (typical
+	// multi-queue capture jitter)
+	r := stats.NewRand(1)
+	shuffled := append([]Packet(nil), pkts...)
+	for i := 0; i+1 < len(shuffled); i += 2 {
+		if r.Bernoulli(0.3) && shuffled[i].Dir == shuffled[i+1].Dir {
+			shuffled[i], shuffled[i+1] = shuffled[i+1], shuffled[i]
+		}
+	}
+	got := meterBytes(shuffled)
+	// reordering may misclassify a handful of segments as
+	// retransmissions (their bytes were already counted), so the byte
+	// count can dip slightly but never inflate
+	if got > want {
+		t.Errorf("reordering inflated bytes: %d > %d", got, want)
+	}
+	if float64(got) < 0.95*float64(want) {
+		t.Errorf("reordering lost too many bytes: %d of %d", got, want)
+	}
+}
+
+func TestMeterUnderDuplication(t *testing.T) {
+	pkts := injectionTrace(t)
+	want := meterBytes(pkts)
+
+	r := stats.NewRand(2)
+	var dup []Packet
+	for _, p := range pkts {
+		dup = append(dup, p)
+		if r.Bernoulli(0.1) {
+			dup = append(dup, p) // span-port duplicate
+		}
+	}
+	got := meterBytes(dup)
+	// duplicates look like retransmissions: bytes must not double-count
+	if got != want {
+		t.Errorf("duplication changed byte count: %d != %d", got, want)
+	}
+}
+
+func TestMeterUnderCaptureLoss(t *testing.T) {
+	pkts := injectionTrace(t)
+	want := meterBytes(pkts)
+
+	r := stats.NewRand(3)
+	var lossy []Packet
+	for _, p := range pkts {
+		if p.Dir == Down && p.PayloadLen > 0 && r.Bernoulli(0.05) {
+			continue // probe dropped the frame
+		}
+		lossy = append(lossy, p)
+	}
+	got := meterBytes(lossy)
+	if got > want {
+		t.Errorf("capture loss inflated bytes: %d > %d", got, want)
+	}
+	// sequence-gap accounting recovers most of the missing ranges when
+	// later segments advance the highest sequence number
+	if float64(got) < 0.85*float64(want) {
+		t.Errorf("capture loss collapsed bytes: %d of %d", got, want)
+	}
+}
+
+func TestMeterIgnoresUnknownFlowsGracefully(t *testing.T) {
+	pkts := injectionTrace(t)
+	// orphan ACKs and FINs from a flow never seen before
+	orphan := FlowKey{Subscriber: "x", ServerIP: "1.2.3.4", ServerPort: 443, ClientPort: 1}
+	pkts = append(pkts,
+		Packet{Time: 100, Flow: orphan, Dir: Up, Flags: ACK, AckNo: 999},
+		Packet{Time: 101, Flow: orphan, Dir: Down, Flags: FIN | ACK},
+	)
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	m := NewMeter()
+	for _, p := range pkts {
+		m.Observe(p)
+	}
+	txns := m.Finish()
+	for _, tx := range txns {
+		if tx.Flow == orphan && tx.Bytes > 0 {
+			t.Error("orphan flow produced bytes")
+		}
+	}
+}
+
+func TestMeterMidStreamStart(t *testing.T) {
+	// the probe starts capturing mid-transfer: no handshake, no request
+	pkts := injectionTrace(t)
+	var tail []Packet
+	for _, p := range pkts {
+		if p.Time > 1.0 {
+			tail = append(tail, p)
+		}
+	}
+	entries := MeterEntries(tail)
+	total := 0
+	for _, e := range entries {
+		total += e.Bytes
+		if math.IsNaN(e.RTTAvg) || e.RTTAvg < 0 {
+			t.Error("invalid RTT on mid-stream transaction")
+		}
+	}
+	if total == 0 {
+		t.Error("mid-stream capture lost all bytes")
+	}
+}

@@ -1,0 +1,296 @@
+package packet
+
+import (
+	"sort"
+
+	"vqoe/internal/weblog"
+)
+
+// Transaction is one HTTP(S) request/response pair as recovered from
+// packet headers alone.
+type Transaction struct {
+	Flow     FlowKey
+	Start    float64 // request segment time
+	Duration float64 // request → last response byte
+	Bytes    int     // unique response payload bytes
+
+	RTTMin, RTTAvg, RTTMax float64
+	BIFAvg, BIFMax         float64
+	// RetransPct is the share of response segments seen twice. A
+	// passive probe cannot count losses it never sees, so loss is
+	// estimated by the retransmission rate.
+	RetransPct float64
+
+	segments int
+	retrans  int
+	rttSum   float64
+	rttN     int
+	bifSum   float64
+	bifN     int
+	lastData float64
+}
+
+// Meter reconstructs transactions from a packet stream. Feed packets
+// in time order with Observe; Finish returns the completed
+// transactions.
+type Meter struct {
+	flows map[string]*flowState
+}
+
+type flowState struct {
+	key FlowKey
+	// handshake tracking
+	synTime   float64
+	rttHS     float64
+	hsPending bool
+	// down-direction reassembly state
+	highestEnd uint32
+	lastAck    uint32
+	// holes are sequence ranges skipped by out-of-order arrivals; a
+	// later frame landing inside a hole is a fill, not a retransmission
+	holes []seqRange
+	// outstanding (unacked) down segments for RTT sampling
+	inflight []sentSeg
+	current  *Transaction
+	done     []Transaction
+}
+
+// seqRange is a half-open [lo, hi) sequence interval.
+type seqRange struct{ lo, hi uint32 }
+
+// maxHoles bounds reassembly state per flow; beyond it the oldest
+// holes are abandoned (their frames, if they ever arrive, count as
+// retransmissions — a safe, non-inflating fallback).
+const maxHoles = 64
+
+// fillHoles removes [lo, hi) from the hole list and returns how many
+// bytes of it lay inside holes.
+func (fs *flowState) fillHoles(lo, hi uint32) int {
+	filled := 0
+	var kept []seqRange
+	for _, h := range fs.holes {
+		ol, oh := maxU32(h.lo, lo), minU32(h.hi, hi)
+		if ol >= oh {
+			kept = append(kept, h)
+			continue
+		}
+		filled += int(oh - ol)
+		if h.lo < ol {
+			kept = append(kept, seqRange{h.lo, ol})
+		}
+		if oh < h.hi {
+			kept = append(kept, seqRange{oh, h.hi})
+		}
+	}
+	fs.holes = kept
+	return filled
+}
+
+type sentSeg struct {
+	end  uint32
+	time float64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{flows: map[string]*flowState{}}
+}
+
+// Observe processes one packet.
+func (m *Meter) Observe(p Packet) {
+	key := p.Flow.String()
+	fs := m.flows[key]
+	if fs == nil {
+		fs = &flowState{key: p.Flow}
+		m.flows[key] = fs
+	}
+
+	switch {
+	case p.Dir == Up && p.Flags.Has(SYN):
+		fs.synTime = p.Time
+		fs.hsPending = true
+	case p.Dir == Down && p.Flags.Has(SYN|ACK) && fs.hsPending:
+		fs.rttHS = p.Time - fs.synTime
+		fs.hsPending = false
+	case p.Dir == Up && p.PayloadLen > 0:
+		// a request starts a new transaction
+		fs.closeCurrent()
+		fs.current = &Transaction{Flow: p.Flow, Start: p.Time}
+		if fs.rttHS > 0 {
+			fs.current.observeRTT(fs.rttHS)
+		}
+	case p.Dir == Down && p.PayloadLen > 0:
+		fs.observeData(p)
+	case p.Dir == Up && p.Flags.Has(ACK):
+		fs.observeAck(p)
+	}
+}
+
+func (fs *flowState) observeData(p Packet) {
+	t := fs.current
+	if t == nil {
+		// response without a visible request (trace tail): open an
+		// anonymous transaction so bytes aren't lost
+		t = &Transaction{Flow: p.Flow, Start: p.Time}
+		fs.current = t
+	}
+	t.segments++
+	switch {
+	case p.Seq >= fs.highestEnd:
+		// in-order (or a jump ahead, leaving a hole behind)
+		if p.Seq > fs.highestEnd && len(fs.holes) < maxHoles {
+			fs.holes = append(fs.holes, seqRange{fs.highestEnd, p.Seq})
+		}
+		t.Bytes += p.PayloadLen
+		fs.highestEnd = p.End()
+		fs.inflight = append(fs.inflight, sentSeg{end: p.End(), time: p.Time})
+	default:
+		// below the highest sequence: a hole fill (late out-of-order
+		// frame) or a genuine retransmission
+		if filled := fs.fillHoles(p.Seq, p.End()); filled > 0 {
+			t.Bytes += filled
+		} else {
+			t.retrans++
+		}
+	}
+	t.lastData = p.Time
+	// bytes in flight: delivered but not yet acknowledged
+	bif := float64(fs.highestEnd - fs.lastAck)
+	t.bifSum += bif
+	t.bifN++
+	if bif > t.BIFMax {
+		t.BIFMax = bif
+	}
+}
+
+func (fs *flowState) observeAck(p Packet) {
+	if p.AckNo <= fs.lastAck {
+		return
+	}
+	fs.lastAck = p.AckNo
+	// RTT sample: pair the cumulative ACK with the OLDEST segment it
+	// covers — the first segment of the acknowledged flight left one
+	// round-trip before the ACK returned
+	covered := -1
+	for i, s := range fs.inflight {
+		if s.end <= p.AckNo {
+			covered = i
+		} else {
+			break
+		}
+	}
+	if covered >= 0 {
+		if t := fs.current; t != nil {
+			t.observeRTT(p.Time - fs.inflight[0].time)
+		}
+		fs.inflight = fs.inflight[covered+1:]
+	}
+}
+
+func (t *Transaction) observeRTT(rtt float64) {
+	if rtt <= 0 {
+		return
+	}
+	if t.rttN == 0 || rtt < t.RTTMin {
+		t.RTTMin = rtt
+	}
+	if rtt > t.RTTMax {
+		t.RTTMax = rtt
+	}
+	t.rttSum += rtt
+	t.rttN++
+}
+
+func (fs *flowState) closeCurrent() {
+	t := fs.current
+	if t == nil {
+		return
+	}
+	fs.current = nil
+	if t.Bytes == 0 && t.segments == 0 {
+		return
+	}
+	t.Duration = t.lastData - t.Start
+	if t.Duration < 0 {
+		t.Duration = 0
+	}
+	if t.rttN > 0 {
+		t.RTTAvg = t.rttSum / float64(t.rttN)
+	}
+	if t.bifN > 0 {
+		t.BIFAvg = t.bifSum / float64(t.bifN)
+	}
+	if t.segments > 0 {
+		t.RetransPct = 100 * float64(t.retrans) / float64(t.segments)
+	}
+	fs.done = append(fs.done, *t)
+}
+
+// Finish closes all open transactions and returns everything metered,
+// ordered by start time.
+func (m *Meter) Finish() []Transaction {
+	var out []Transaction
+	for _, fs := range m.flows {
+		fs.closeCurrent()
+		out = append(out, fs.done...)
+		fs.done = nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ToEntry converts a metered transaction back into a weblog entry (the
+// encrypted view: a packet probe never sees URIs). This is the bridge
+// that lets the whole detection pipeline run from raw packet headers.
+func (t Transaction) ToEntry() weblog.Entry {
+	bdp := 0.0
+	if t.Duration > 0 {
+		bdp = float64(t.Bytes) / t.Duration * t.RTTAvg
+	}
+	return weblog.Entry{
+		Timestamp:      t.Start,
+		Subscriber:     t.Flow.Subscriber,
+		Host:           t.Flow.Host,
+		Encrypted:      t.Flow.ServerPort == 443,
+		ServerIP:       t.Flow.ServerIP,
+		ServerPort:     t.Flow.ServerPort,
+		Bytes:          t.Bytes,
+		TransactionSec: t.Duration,
+		RTTMin:         t.RTTMin,
+		RTTAvg:         t.RTTAvg,
+		RTTMax:         t.RTTMax,
+		BDP:            bdp,
+		BIFAvg:         t.BIFAvg,
+		BIFMax:         t.BIFMax,
+		LossPct:        t.RetransPct, // passive loss estimate
+		RetransPct:     t.RetransPct,
+	}
+}
+
+// MeterEntries is the full probe path: packets in, weblog entries out.
+func MeterEntries(packets []Packet) []weblog.Entry {
+	m := NewMeter()
+	for _, p := range packets {
+		m.Observe(p)
+	}
+	txns := m.Finish()
+	out := make([]weblog.Entry, len(txns))
+	for i, t := range txns {
+		out[i] = t.ToEntry()
+	}
+	return out
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+// Package packet models the lowest layer of the measurement chain: raw
+// TCP packet headers as a passive probe on the operator's network sees
+// them, and the flow metering that turns them into the per-transaction
+// transport statistics of Table 1 (RTT, bytes-in-flight, retransmission
+// and loss rates, object sizes, timings).
+//
+// The weblog substrate consumes TransferStats directly from the
+// network simulator; this package closes the loop in the other
+// direction — Synthesize renders a session's downloads as a packet
+// trace, and FlowMeter recovers the statistics from nothing but packet
+// headers, demonstrating that the framework's features genuinely
+// require no payload access (§2.4: no DPI).
+package packet
+
+import (
+	"fmt"
+)
+
+// Dir is the packet direction relative to the subscriber.
+type Dir int
+
+// Directions.
+const (
+	// Up is subscriber → server.
+	Up Dir = iota
+	// Down is server → subscriber.
+	Down
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Flags are the TCP header flags the meter cares about.
+type Flags uint8
+
+// Flag bits.
+const (
+	SYN Flags = 1 << iota
+	ACK
+	PSH
+	FIN
+	RST
+)
+
+// Has reports whether all bits of f are set.
+func (fl Flags) Has(f Flags) bool { return fl&f == f }
+
+// String renders the set flags.
+func (fl Flags) String() string {
+	out := ""
+	for _, p := range []struct {
+		bit  Flags
+		name string
+	}{{SYN, "S"}, {ACK, "A"}, {PSH, "P"}, {FIN, "F"}, {RST, "R"}} {
+		if fl.Has(p.bit) {
+			out += p.name
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// Packet is one captured TCP segment header. Payload bytes are counted
+// but never carried — the probe is header-only by construction.
+type Packet struct {
+	Time float64 // capture timestamp, seconds
+	Flow FlowKey
+	Dir  Dir
+	// Seq is the TCP sequence number of the first payload byte
+	// (relative, per direction).
+	Seq uint32
+	// PayloadLen is the segment's payload size in bytes.
+	PayloadLen int
+	// AckNo is the cumulative acknowledgement (relative) carried when
+	// ACK is set.
+	AckNo uint32
+	Flags Flags
+}
+
+// End returns the sequence number after this segment's payload.
+func (p Packet) End() uint32 { return p.Seq + uint32(p.PayloadLen) }
+
+// FlowKey identifies a TCP connection from the subscriber's side.
+type FlowKey struct {
+	Subscriber string
+	ServerIP   string
+	ServerPort int
+	ClientPort int
+	// Host is the server name the flow is addressed to — from the
+	// HTTP Host header on port 80 or the TLS SNI on port 443; both are
+	// visible to a passive probe.
+	Host string
+}
+
+// String renders the canonical flow tuple.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d(%s)", k.Subscriber, k.ClientPort, k.ServerIP, k.ServerPort, k.Host)
+}

@@ -1,0 +1,239 @@
+package packet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vqoe/internal/features"
+	"vqoe/internal/netsim"
+	"vqoe/internal/player"
+	"vqoe/internal/stats"
+	"vqoe/internal/video"
+	"vqoe/internal/weblog"
+)
+
+func TestFlagString(t *testing.T) {
+	if (SYN | ACK).String() != "SA" {
+		t.Errorf("flags render %q", (SYN | ACK).String())
+	}
+	if Flags(0).String() != "-" {
+		t.Error("empty flags")
+	}
+	if !(PSH | ACK).Has(ACK) || (PSH).Has(ACK) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Error("dir names")
+	}
+}
+
+func oneEntry(bytes int, dur, rtt, retransPct float64) weblog.Entry {
+	return weblog.Entry{
+		Timestamp:      10,
+		Subscriber:     "sub",
+		Host:           "r1---sn-aaaa.googlevideo.com",
+		ServerIP:       "173.194.1.2",
+		ServerPort:     443,
+		Encrypted:      true,
+		Bytes:          bytes,
+		TransactionSec: dur,
+		RTTAvg:         rtt,
+		RetransPct:     retransPct,
+	}
+}
+
+func TestSynthesizeSingleTransaction(t *testing.T) {
+	e := oneEntry(500_000, 2.0, 0.1, 3)
+	pkts := Synthesize([]weblog.Entry{e}, stats.NewRand(1))
+	if len(pkts) < 10 {
+		t.Fatalf("only %d packets", len(pkts))
+	}
+	// time-ordered
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time < pkts[i-1].Time {
+			t.Fatal("packets out of order")
+		}
+	}
+	// handshake present exactly once
+	syn := 0
+	var downBytes int
+	for _, p := range pkts {
+		if p.Dir == Up && p.Flags.Has(SYN) {
+			syn++
+		}
+		if p.Dir == Down && p.PayloadLen > 0 {
+			downBytes += p.PayloadLen
+		}
+	}
+	if syn != 1 {
+		t.Errorf("%d SYNs", syn)
+	}
+	// down bytes = object + retransmitted duplicates
+	if downBytes < e.Bytes {
+		t.Errorf("down bytes %d below object size %d", downBytes, e.Bytes)
+	}
+}
+
+func TestMeterRecoversTransaction(t *testing.T) {
+	e := oneEntry(800_000, 3.0, 0.08, 4)
+	pkts := Synthesize([]weblog.Entry{e}, stats.NewRand(2))
+	txns := NewMeterTxns(pkts)
+	if len(txns) != 1 {
+		t.Fatalf("%d transactions, want 1", len(txns))
+	}
+	tx := txns[0]
+	if tx.Bytes != e.Bytes {
+		t.Errorf("bytes %d, want %d", tx.Bytes, e.Bytes)
+	}
+	if math.Abs(tx.Duration-e.TransactionSec) > e.TransactionSec*0.5 {
+		t.Errorf("duration %v, want ≈%v", tx.Duration, e.TransactionSec)
+	}
+	if tx.RTTAvg < e.RTTAvg*0.3 || tx.RTTAvg > e.RTTAvg*2 {
+		t.Errorf("rtt %v, want ≈%v", tx.RTTAvg, e.RTTAvg)
+	}
+	if math.Abs(tx.RetransPct-e.RetransPct) > 2 {
+		t.Errorf("retrans %v%%, want ≈%v%%", tx.RetransPct, e.RetransPct)
+	}
+	if tx.BIFMax <= 0 || tx.BIFAvg <= 0 || tx.BIFAvg > tx.BIFMax {
+		t.Errorf("BIF implausible: avg %v max %v", tx.BIFAvg, tx.BIFMax)
+	}
+}
+
+// NewMeterTxns is a test helper running the full meter.
+func NewMeterTxns(pkts []Packet) []Transaction {
+	m := NewMeter()
+	for _, p := range pkts {
+		m.Observe(p)
+	}
+	return m.Finish()
+}
+
+func TestMeterSeparatesTransactionsOnOneConnection(t *testing.T) {
+	entries := []weblog.Entry{
+		oneEntry(200_000, 1, 0.08, 0),
+		oneEntry(400_000, 1.5, 0.08, 0),
+		oneEntry(100_000, 0.8, 0.08, 0),
+	}
+	for i := range entries {
+		entries[i].Timestamp = 10 + float64(i)*20
+	}
+	pkts := Synthesize(entries, stats.NewRand(3))
+	txns := NewMeterTxns(pkts)
+	if len(txns) != 3 {
+		t.Fatalf("%d transactions, want 3", len(txns))
+	}
+	for i, tx := range txns {
+		if tx.Bytes != entries[i].Bytes {
+			t.Errorf("txn %d bytes %d, want %d", i, tx.Bytes, entries[i].Bytes)
+		}
+	}
+}
+
+func TestMeterSeparatesHosts(t *testing.T) {
+	a := oneEntry(100_000, 1, 0.08, 0)
+	b := oneEntry(200_000, 1, 0.08, 0)
+	b.Host = "s.youtube.com"
+	b.Timestamp = 11
+	pkts := Synthesize([]weblog.Entry{a, b}, stats.NewRand(4))
+	txns := NewMeterTxns(pkts)
+	if len(txns) != 2 {
+		t.Fatalf("%d transactions", len(txns))
+	}
+	hosts := map[string]bool{}
+	for _, tx := range txns {
+		hosts[tx.Flow.Host] = true
+	}
+	if len(hosts) != 2 {
+		t.Error("hosts collapsed")
+	}
+}
+
+// Property: metered bytes always equal the object size exactly, for
+// any transaction shape (retransmissions must not double-count).
+func TestMeterBytesConservationProperty(t *testing.T) {
+	f := func(kb uint16, durRaw, rttRaw float64, retr uint8, seed int64) bool {
+		bytes := int(kb)*100 + 1
+		dur := 0.05 + math.Abs(math.Mod(durRaw, 10))
+		rtt := 0.01 + math.Abs(math.Mod(rttRaw, 0.4))
+		e := oneEntry(bytes, dur, rtt, float64(retr%10))
+		pkts := Synthesize([]weblog.Entry{e}, stats.NewRand(seed))
+		txns := NewMeterTxns(pkts)
+		return len(txns) == 1 && txns[0].Bytes == bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToEntryBridge(t *testing.T) {
+	e := oneEntry(300_000, 1.5, 0.09, 2)
+	pkts := Synthesize([]weblog.Entry{e}, stats.NewRand(5))
+	entries := MeterEntries(pkts)
+	if len(entries) != 1 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	got := entries[0]
+	if got.Bytes != e.Bytes || got.Host != e.Host || !got.Encrypted {
+		t.Errorf("entry fields wrong: %+v", got)
+	}
+	if got.BDP <= 0 {
+		t.Error("BDP not derived")
+	}
+	if got.URI != "" {
+		t.Error("packet probe must not produce URIs")
+	}
+}
+
+// TestEndToEndFromPackets runs the complete measurement chain: player
+// session → weblog entries → packet trace → metered entries → feature
+// vector, and checks the packet-derived features track the direct ones.
+func TestEndToEndFromPackets(t *testing.T) {
+	r := stats.NewRand(7)
+	cat := video.NewCatalog(1, r)
+	v := cat.Videos[0]
+	v.Duration = 90
+	net := &netsim.Scripted{Steps: []netsim.ScriptStep{
+		{Cond: netsim.Conditions{BandwidthBps: 3e6, RTT: 0.08, LossProb: 0.003}},
+	}}
+	tr := player.Run(v, net, player.DefaultConfig(player.Adaptive), r.Fork())
+	direct := weblog.FromTrace(tr, weblog.Options{Subscriber: "s", Encrypted: true})
+
+	pkts := Synthesize(direct, r.Fork())
+	metered := MeterEntries(pkts)
+
+	// media transaction count must match
+	mediaDirect, mediaMetered := 0, 0
+	for _, e := range direct {
+		if e.IsVideoHost() {
+			mediaDirect++
+		}
+	}
+	for _, e := range metered {
+		if e.IsVideoHost() {
+			mediaMetered++
+		}
+	}
+	if mediaDirect != mediaMetered {
+		t.Fatalf("media transactions: direct %d, metered %d", mediaDirect, mediaMetered)
+	}
+
+	fd := features.StallFeatures(features.FromEntries(direct))
+	fm := features.StallFeatures(features.FromEntries(metered))
+	names := features.StallFeatureNames()
+	// chunk-size features must agree closely (sizes are recovered
+	// exactly; only timing-derived features may drift)
+	for i, n := range names {
+		if len(n) >= 10 && n[:10] == "chunk size" {
+			if fd[i] == 0 {
+				continue
+			}
+			if rel := math.Abs(fm[i]-fd[i]) / math.Abs(fd[i]); rel > 0.05 {
+				t.Errorf("%s: direct %v vs metered %v", n, fd[i], fm[i])
+			}
+		}
+	}
+}

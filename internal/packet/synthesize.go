@@ -1,0 +1,149 @@
+package packet
+
+import (
+	"sort"
+
+	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+)
+
+// MSS is the synthesized segment payload size.
+const MSS = 1460
+
+// Synthesize renders weblog transactions as the TCP packet trace a
+// passive probe would have captured: one persistent connection per
+// (subscriber, host), a three-way handshake on first use, a small
+// request segment up, MSS-sized response segments down in RTT-spaced
+// rounds with cumulative ACKs, and duplicate-sequence retransmissions
+// matching the transaction's retransmission rate.
+//
+// The result is time-ordered. Entries must belong to one subscriber
+// timeline (they may span several hosts).
+func Synthesize(entries []weblog.Entry, r *stats.Rand) []Packet {
+	type connState struct {
+		key        FlowKey
+		handshaken bool
+		upSeq      uint32
+		downSeq    uint32
+		busyUntil  float64
+	}
+	// connection pool per host: HTTP/1.1 cannot interleave responses,
+	// so a request arriving while another transfer is in flight goes
+	// out on a parallel connection — exactly what players do for the
+	// audio and video streams of one CDN host.
+	conns := map[string][]*connState{}
+	nextPort := 40000
+
+	var out []Packet
+	for _, e := range entries {
+		host := e.Host
+		var cs *connState
+		for _, c := range conns[host] {
+			if c.busyUntil <= e.Timestamp {
+				cs = c
+				break
+			}
+		}
+		if cs == nil {
+			cs = &connState{key: FlowKey{
+				Subscriber: e.Subscriber,
+				ServerIP:   e.ServerIP,
+				ServerPort: e.ServerPort,
+				ClientPort: nextPort,
+				Host:       host,
+			}}
+			nextPort++
+			conns[host] = append(conns[host], cs)
+		}
+
+		rtt := e.RTTAvg
+		if rtt <= 0 {
+			rtt = 0.05
+		}
+		t := e.Timestamp
+
+		if !cs.handshaken {
+			out = append(out,
+				Packet{Time: t, Flow: cs.key, Dir: Up, Flags: SYN},
+				Packet{Time: t + 0.9*rtt, Flow: cs.key, Dir: Down, Flags: SYN | ACK},
+				Packet{Time: t + 0.95*rtt, Flow: cs.key, Dir: Up, Flags: ACK},
+			)
+			cs.handshaken = true
+			t += rtt
+		}
+
+		// request segment
+		reqLen := 250 + r.Intn(450)
+		out = append(out, Packet{
+			Time: t, Flow: cs.key, Dir: Up, Flags: PSH | ACK,
+			Seq: cs.upSeq, PayloadLen: reqLen, AckNo: cs.downSeq,
+		})
+		cs.upSeq += uint32(reqLen)
+
+		// response rounds
+		total := (e.Bytes + MSS - 1) / MSS
+		if total < 1 {
+			total = 1
+		}
+		dur := e.TransactionSec
+		if dur <= 0 {
+			dur = rtt
+		}
+		rounds := int(dur/rtt + 0.5)
+		if rounds < 1 {
+			rounds = 1
+		}
+		if rounds > total {
+			rounds = total
+		}
+		perRound := (total + rounds - 1) / rounds
+
+		// choose which packet indices are retransmitted
+		nRetrans := int(float64(total)*e.RetransPct/100 + 0.5)
+		retransAt := map[int]bool{}
+		for len(retransAt) < nRetrans {
+			retransAt[r.Intn(total)] = true
+		}
+
+		remaining := e.Bytes
+		pkt := 0
+		for round := 0; round < rounds && remaining > 0; round++ {
+			roundT := t + rtt*float64(round+1)
+			var lastEnd uint32
+			for i := 0; i < perRound && remaining > 0; i++ {
+				payload := MSS
+				if payload > remaining {
+					payload = remaining
+				}
+				pt := roundT + rtt*0.4*float64(i)/float64(perRound+1)
+				out = append(out, Packet{
+					Time: pt, Flow: cs.key, Dir: Down, Flags: ACK,
+					Seq: cs.downSeq, PayloadLen: payload, AckNo: cs.upSeq,
+				})
+				lastEnd = cs.downSeq + uint32(payload)
+				if retransAt[pkt] {
+					// the original was lost downstream of the probe;
+					// the server re-sends the same sequence range
+					out = append(out, Packet{
+						Time: pt + 0.8*rtt, Flow: cs.key, Dir: Down, Flags: ACK,
+						Seq: cs.downSeq, PayloadLen: payload, AckNo: cs.upSeq,
+					})
+				}
+				cs.downSeq += uint32(payload)
+				remaining -= payload
+				pkt++
+			}
+			// cumulative ACK: the round's first segment left the
+			// server one RTT before the acknowledgement returns, which
+			// is the RTT a metering endpoint measures
+			out = append(out, Packet{
+				Time: roundT + rtt*0.95, Flow: cs.key, Dir: Up, Flags: ACK,
+				AckNo: lastEnd,
+			})
+		}
+		cs.busyUntil = t + rtt*float64(rounds+1)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

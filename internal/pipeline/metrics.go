@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"vqoe/internal/features"
+)
+
+// Metrics aggregates the pipeline's output for operational monitoring.
+// It renders in the Prometheus text exposition format so an operator's
+// existing scrape infrastructure can watch the QoE monitor itself.
+// Safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	entriesTotal  int64
+	sessionsTotal int64
+	stallCounts   [3]int64
+	repCounts     [3]int64
+	switchVarying int64
+
+	// rolling quantile estimators over per-session chunk counts and
+	// switch scores (constant memory, P² estimators)
+	chunkP50 *streamQ
+	chunkP90 *streamQ
+	scoreP90 *streamQ
+}
+
+// streamQ is declared in quantile.go as the P² bridge.
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		chunkP50: newStreamQ(0.5),
+		chunkP90: newStreamQ(0.9),
+		scoreP90: newStreamQ(0.9),
+	}
+}
+
+// ObserveEntry counts a processed weblog entry.
+func (m *Metrics) ObserveEntry() {
+	m.mu.Lock()
+	m.entriesTotal++
+	m.mu.Unlock()
+}
+
+// ObserveReport records a finished session's assessment.
+func (m *Metrics) ObserveReport(r SessionReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsTotal++
+	if int(r.Report.Stall) >= 0 && int(r.Report.Stall) < 3 {
+		m.stallCounts[r.Report.Stall]++
+	}
+	if int(r.Report.Representation) >= 0 && int(r.Report.Representation) < 3 {
+		m.repCounts[r.Report.Representation]++
+	}
+	if r.Report.SwitchVariance {
+		m.switchVarying++
+	}
+	m.chunkP50.observe(float64(r.Report.Chunks))
+	m.chunkP90.observe(float64(r.Report.Chunks))
+	m.scoreP90.observe(r.Report.SwitchScore)
+}
+
+// WriteTo renders the Prometheus text exposition.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := p("# HELP vqoe_entries_total Weblog entries processed.\n# TYPE vqoe_entries_total counter\nvqoe_entries_total %d\n", m.entriesTotal); err != nil {
+		return n, err
+	}
+	if err := p("# HELP vqoe_sessions_total Sessions assessed.\n# TYPE vqoe_sessions_total counter\nvqoe_sessions_total %d\n", m.sessionsTotal); err != nil {
+		return n, err
+	}
+	// label order is stabilized for deterministic output
+	stallLabels := append([]string(nil), features.StallLabelNames...)
+	sort.Strings(stallLabels)
+	for _, name := range stallLabels {
+		idx := indexOfLabel(features.StallLabelNames, name)
+		if err := p("vqoe_sessions_by_stall{level=%q} %d\n", name, m.stallCounts[idx]); err != nil {
+			return n, err
+		}
+	}
+	for i, name := range features.RepLabelNames {
+		if err := p("vqoe_sessions_by_quality{level=%q} %d\n", name, m.repCounts[i]); err != nil {
+			return n, err
+		}
+	}
+	if err := p("vqoe_sessions_switch_varying %d\n", m.switchVarying); err != nil {
+		return n, err
+	}
+	if err := p("vqoe_session_chunks{quantile=\"0.5\"} %g\nvqoe_session_chunks{quantile=\"0.9\"} %g\n",
+		m.chunkP50.value(), m.chunkP90.value()); err != nil {
+		return n, err
+	}
+	return n, p("vqoe_switch_score{quantile=\"0.9\"} %g\n", m.scoreP90.value())
+}
+
+// Handler serves the metrics over HTTP (GET only).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = m.WriteTo(w)
+	})
+}
+
+func indexOfLabel(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+// Package pipeline runs the detection framework in the operator's
+// online deployment mode (§8: "the trained models can be directly
+// applied on the passively monitored traffic and report issues in real
+// time"). It consumes weblog entries incrementally — as the proxy
+// emits them — maintains per-subscriber open sessions using the §5.2
+// reconstruction heuristics, and emits a QoE report the moment a
+// session is considered finished.
+package pipeline
+
+import (
+	"sort"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/weblog"
+)
+
+// Config tunes the online sessionization.
+type Config struct {
+	// IdleGapSec closes a session after this much subscriber silence.
+	IdleGapSec float64
+	// MinChunks suppresses reports for fragments with fewer media
+	// chunks (signalling-only groups).
+	MinChunks int
+}
+
+// DefaultConfig mirrors the batch sessionizer's parameters.
+func DefaultConfig() Config {
+	return Config{IdleGapSec: 30, MinChunks: 3}
+}
+
+// SessionReport is an emitted assessment of one finished session.
+type SessionReport struct {
+	Subscriber string
+	Start, End float64
+	Report     core.Report
+}
+
+// Analyzer is the streaming engine. Feed it entries in timestamp order
+// with Push; completed sessions come back from Push and Flush.
+// Analyzer is not safe for concurrent use; shard by subscriber for
+// parallel deployments.
+type Analyzer struct {
+	fw  *core.Framework
+	cfg Config
+	// open sessions per subscriber
+	open map[string]*openSession
+}
+
+type openSession struct {
+	entries    []weblog.Entry
+	start, end float64
+}
+
+// New creates an Analyzer emitting reports from the given framework.
+func New(fw *core.Framework, cfg Config) *Analyzer {
+	if cfg.IdleGapSec <= 0 {
+		cfg.IdleGapSec = 30
+	}
+	if cfg.MinChunks <= 0 {
+		cfg.MinChunks = 3
+	}
+	return &Analyzer{fw: fw, cfg: cfg, open: map[string]*openSession{}}
+}
+
+// OpenSessions reports the number of sessions currently being tracked.
+func (a *Analyzer) OpenSessions() int { return len(a.open) }
+
+// Push processes one weblog entry and returns any session reports that
+// became final because of it (a watch-page load or an idle gap closed
+// the subscriber's previous session). Entries for non-service hosts
+// are ignored. Entries must arrive in non-decreasing timestamp order
+// per subscriber.
+func (a *Analyzer) Push(e weblog.Entry) []SessionReport {
+	if !e.IsServiceHost() {
+		return nil
+	}
+	var out []SessionReport
+	cur := a.open[e.Subscriber]
+	boundary := cur == nil ||
+		e.Timestamp-cur.end > a.cfg.IdleGapSec ||
+		e.Host == weblog.HostPage
+	if boundary {
+		if cur != nil {
+			if rep, ok := a.finish(e.Subscriber, cur); ok {
+				out = append(out, rep)
+			}
+		}
+		cur = &openSession{start: e.Timestamp}
+		a.open[e.Subscriber] = cur
+	}
+	cur.entries = append(cur.entries, e)
+	cur.end = e.Timestamp
+	return out
+}
+
+// Advance closes every session idle at the given clock time and
+// returns their reports. Call it periodically with the capture clock
+// so quiet subscribers' last sessions don't linger forever.
+func (a *Analyzer) Advance(now float64) []SessionReport {
+	var out []SessionReport
+	for sub, s := range a.open {
+		if now-s.end > a.cfg.IdleGapSec {
+			if rep, ok := a.finish(sub, s); ok {
+				out = append(out, rep)
+			}
+			delete(a.open, sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Flush closes all open sessions regardless of idle state (end of
+// capture) and returns their reports ordered by start time.
+func (a *Analyzer) Flush() []SessionReport {
+	var out []SessionReport
+	for sub, s := range a.open {
+		if rep, ok := a.finish(sub, s); ok {
+			out = append(out, rep)
+		}
+		delete(a.open, sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func (a *Analyzer) finish(sub string, s *openSession) (SessionReport, bool) {
+	obs := features.FromEntries(s.entries)
+	if obs.Len() < a.cfg.MinChunks {
+		return SessionReport{}, false
+	}
+	return SessionReport{
+		Subscriber: sub,
+		Start:      s.start,
+		End:        s.end,
+		Report:     a.fw.Analyze(obs),
+	}, true
+}

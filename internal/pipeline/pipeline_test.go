@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+var (
+	fwOnce sync.Once
+	fw     *core.Framework
+	study  *workload.Study
+)
+
+func testFramework(t *testing.T) (*core.Framework, *workload.Study) {
+	t.Helper()
+	fwOnce.Do(func() {
+		clearCfg := workload.DefaultConfig(700)
+		clearCfg.Seed = 31
+		hasCfg := workload.DefaultConfig(350)
+		hasCfg.AdaptiveFraction = 1
+		hasCfg.Seed = 32
+		tcfg := core.DefaultTrainConfig()
+		tcfg.CVFolds = 3
+		tcfg.Forest.Trees = 15
+		var err error
+		fw, _, err = core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+		if err != nil {
+			panic(err)
+		}
+		scfg := workload.DefaultStudyConfig()
+		scfg.Sessions = 20
+		scfg.Seed = 33
+		study = workload.GenerateStudy(scfg)
+	})
+	return fw, study
+}
+
+func TestStreamingMatchesBatchSessionCount(t *testing.T) {
+	fw, study := testFramework(t)
+	a := New(fw, DefaultConfig())
+	var reports []SessionReport
+	for _, e := range study.Stream {
+		reports = append(reports, a.Push(e)...)
+	}
+	reports = append(reports, a.Flush()...)
+	// the study has 20 sequential sessions; each should emit one report
+	if len(reports) < 18 || len(reports) > 22 {
+		t.Errorf("emitted %d reports for 20 sessions", len(reports))
+	}
+	if a.OpenSessions() != 0 {
+		t.Errorf("%d sessions left open after flush", a.OpenSessions())
+	}
+}
+
+func TestReportsCarryAssessments(t *testing.T) {
+	fw, study := testFramework(t)
+	a := New(fw, DefaultConfig())
+	var reports []SessionReport
+	for _, e := range study.Stream {
+		reports = append(reports, a.Push(e)...)
+	}
+	reports = append(reports, a.Flush()...)
+	for _, r := range reports {
+		if r.Subscriber != "study-device" {
+			t.Fatalf("subscriber %q", r.Subscriber)
+		}
+		if r.End < r.Start {
+			t.Fatal("report interval inverted")
+		}
+		if r.Report.Chunks < DefaultConfig().MinChunks {
+			t.Fatalf("report with %d chunks below minimum", r.Report.Chunks)
+		}
+		if int(r.Report.Stall) < 0 || int(r.Report.Stall) > 2 {
+			t.Fatal("invalid stall label")
+		}
+	}
+}
+
+func TestPushIgnoresForeignHosts(t *testing.T) {
+	fw, _ := testFramework(t)
+	a := New(fw, DefaultConfig())
+	if got := a.Push(weblog.Entry{Host: "ads.example.com", Subscriber: "x"}); got != nil {
+		t.Error("foreign host should not emit")
+	}
+	if a.OpenSessions() != 0 {
+		t.Error("foreign host should not open a session")
+	}
+}
+
+func TestAdvanceClosesIdleSessions(t *testing.T) {
+	fw, study := testFramework(t)
+	a := New(fw, DefaultConfig())
+	// feed only the first session's worth of entries
+	first := study.StreamLabels[0]
+	for i, e := range study.Stream {
+		if study.StreamLabels[i] != first {
+			break
+		}
+		a.Push(e)
+	}
+	if a.OpenSessions() != 1 {
+		t.Fatalf("open sessions = %d", a.OpenSessions())
+	}
+	if got := a.Advance(1e9); len(got) != 1 {
+		t.Errorf("advance emitted %d reports, want 1", len(got))
+	}
+	if a.OpenSessions() != 0 {
+		t.Error("advance should close the idle session")
+	}
+	// advancing again is a no-op
+	if got := a.Advance(2e9); len(got) != 0 {
+		t.Error("second advance should be empty")
+	}
+}
+
+func TestFragmentsSuppressed(t *testing.T) {
+	fw, _ := testFramework(t)
+	a := New(fw, DefaultConfig())
+	// a lone page load with no media must not produce a report
+	a.Push(weblog.Entry{Host: weblog.HostPage, Subscriber: "s", Timestamp: 0})
+	if got := a.Flush(); len(got) != 0 {
+		t.Errorf("fragment emitted %d reports", len(got))
+	}
+}
+
+func TestMultipleSubscribersInterleaved(t *testing.T) {
+	fw, study := testFramework(t)
+	a := New(fw, DefaultConfig())
+	// duplicate the stream under two subscriber IDs, interleaved
+	var reports []SessionReport
+	for _, e := range study.Stream {
+		e1 := e
+		e1.Subscriber = "alice"
+		e2 := e
+		e2.Subscriber = "bob"
+		reports = append(reports, a.Push(e1)...)
+		reports = append(reports, a.Push(e2)...)
+	}
+	reports = append(reports, a.Flush()...)
+	counts := map[string]int{}
+	for _, r := range reports {
+		counts[r.Subscriber]++
+	}
+	if counts["alice"] == 0 || counts["alice"] != counts["bob"] {
+		t.Errorf("per-subscriber reports unbalanced: %v", counts)
+	}
+}
+
+func TestStreamingAgreesWithDirectAnalysis(t *testing.T) {
+	fw, study := testFramework(t)
+	a := New(fw, DefaultConfig())
+	var reports []SessionReport
+	for _, e := range study.Stream {
+		reports = append(reports, a.Push(e)...)
+	}
+	reports = append(reports, a.Flush()...)
+
+	// compare against analyzing each true session's entries directly
+	direct := map[string]core.Report{}
+	for _, s := range study.Corpus.Sessions {
+		direct[s.Trace.SessionID] = fw.Analyze(features.FromEntries(s.Entries))
+	}
+	agree := 0
+	for _, r := range reports {
+		for _, d := range direct {
+			if d.Chunks == r.Report.Chunks && d.Stall == r.Report.Stall {
+				agree++
+				break
+			}
+		}
+	}
+	if agree < len(reports)*8/10 {
+		t.Errorf("only %d/%d streaming reports match a direct analysis", agree, len(reports))
+	}
+}

@@ -1,0 +1,17 @@
+package pipeline
+
+import "vqoe/internal/stats"
+
+// streamQ bridges the stats package's P² estimator for the metrics
+// collector: a constant-memory quantile over the unbounded stream of
+// session reports.
+type streamQ struct {
+	q *stats.P2Quantile
+}
+
+func newStreamQ(p float64) *streamQ {
+	return &streamQ{q: stats.NewP2Quantile(p)}
+}
+
+func (s *streamQ) observe(x float64) { s.q.Observe(x) }
+func (s *streamQ) value() float64    { return s.q.Value() }

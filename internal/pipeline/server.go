@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/mos"
+	"vqoe/internal/weblog"
+)
+
+// Server exposes the framework over HTTP for operator integration:
+//
+//	POST /analyze  — body: weblog entries as JSONL (one session's
+//	                 traffic); response: the QoE assessment as JSON.
+//	POST /ingest   — body: JSONL entries appended to the streaming
+//	                 analyzer; response: reports for any sessions the
+//	                 new entries completed.
+//	GET  /metrics  — Prometheus exposition of everything assessed.
+//	GET  /healthz  — liveness.
+//
+// Server is safe for concurrent use; the streaming analyzer behind
+// /ingest is serialized internally.
+type Server struct {
+	fw      *core.Framework
+	metrics *Metrics
+
+	mu sync.Mutex
+	an *Analyzer
+}
+
+// NewServer wraps a trained framework.
+func NewServer(fw *core.Framework) *Server {
+	return &Server{
+		fw:      fw,
+		metrics: NewMetrics(),
+		an:      New(fw, DefaultConfig()),
+	}
+}
+
+// Metrics exposes the collector (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.Handle("/metrics", s.metrics.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// AnalyzeResponse is the JSON shape of /analyze results.
+type AnalyzeResponse struct {
+	Stalling       string  `json:"stalling"`
+	Quality        string  `json:"quality"`
+	SwitchVariance bool    `json:"switch_variance"`
+	SwitchScore    float64 `json:"switch_score"`
+	Chunks         int     `json:"chunks"`
+	MOS            float64 `json:"mos"`
+	MOSVerbal      string  `json:"mos_verbal"`
+}
+
+func toResponse(r core.Report) AnalyzeResponse {
+	score := mos.FromReport(r)
+	return AnalyzeResponse{
+		Stalling:       r.Stall.String(),
+		Quality:        r.Representation.String(),
+		SwitchVariance: r.SwitchVariance,
+		SwitchScore:    r.SwitchScore,
+		Chunks:         r.Chunks,
+		MOS:            float64(score),
+		MOSVerbal:      score.Verbal(),
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	entries, err := decodeJSONL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	obs := features.FromEntries(entries)
+	if obs.Len() == 0 {
+		http.Error(w, "no media chunks in request", http.StatusUnprocessableEntity)
+		return
+	}
+	rep := s.fw.Analyze(obs)
+	s.metrics.ObserveReport(SessionReport{Report: rep})
+	writeJSON(w, toResponse(rep))
+}
+
+// IngestResponse is the JSON shape of /ingest results.
+type IngestResponse struct {
+	Accepted int            `json:"accepted"`
+	Reports  []IngestReport `json:"reports"`
+}
+
+// IngestReport is one completed session in an ingest response.
+type IngestReport struct {
+	Subscriber string          `json:"subscriber"`
+	Start      float64         `json:"start"`
+	End        float64         `json:"end"`
+	Assessment AnalyzeResponse `json:"assessment"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	entries, err := decodeJSONL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := IngestResponse{Accepted: len(entries), Reports: []IngestReport{}}
+	s.mu.Lock()
+	for _, e := range entries {
+		s.metrics.ObserveEntry()
+		for _, rep := range s.an.Push(e) {
+			s.metrics.ObserveReport(rep)
+			resp.Reports = append(resp.Reports, IngestReport{
+				Subscriber: rep.Subscriber,
+				Start:      rep.Start,
+				End:        rep.End,
+				Assessment: toResponse(rep.Report),
+			})
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// maxBodyLines bounds a single request's entry count.
+const maxBodyLines = 1_000_000
+
+func decodeJSONL(r *http.Request) ([]weblog.Entry, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []weblog.Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		if line > maxBodyLines {
+			return nil, fmt.Errorf("request exceeds %d lines", maxBodyLines)
+		}
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e weblog.Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

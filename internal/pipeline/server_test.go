@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vqoe/internal/weblog"
+)
+
+func entriesJSONL(t *testing.T, entries []weblog.Entry) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+func TestServerAnalyze(t *testing.T) {
+	fw, study := testFramework(t)
+	srv := NewServer(fw)
+	h := srv.Handler()
+
+	body := entriesJSONL(t, study.Corpus.Sessions[0].Entries)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/analyze", body))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Chunks == 0 {
+		t.Error("no chunks in assessment")
+	}
+	if resp.MOS < 1 || resp.MOS > 5 {
+		t.Errorf("MOS %v out of scale", resp.MOS)
+	}
+	if resp.Stalling == "" || resp.Quality == "" || resp.MOSVerbal == "" {
+		t.Errorf("labels missing: %+v", resp)
+	}
+}
+
+func TestServerAnalyzeRejections(t *testing.T) {
+	fw, _ := testFramework(t)
+	h := NewServer(fw).Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/analyze", nil))
+	if rec.Code != 405 {
+		t.Errorf("GET /analyze → %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/analyze", strings.NewReader("{broken json")))
+	if rec.Code != 400 {
+		t.Errorf("malformed body → %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/analyze", strings.NewReader("")))
+	if rec.Code != 422 {
+		t.Errorf("empty body → %d, want 422", rec.Code)
+	}
+}
+
+func TestServerIngestStream(t *testing.T) {
+	fw, study := testFramework(t)
+	srv := NewServer(fw)
+	h := srv.Handler()
+
+	// feed the whole study stream in two halves
+	half := len(study.Stream) / 2
+	total := 0
+	for _, part := range [][]weblog.Entry{study.Stream[:half], study.Stream[half:]} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", entriesJSONL(t, part)))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != len(part) {
+			t.Errorf("accepted %d of %d", resp.Accepted, len(part))
+		}
+		total += len(resp.Reports)
+	}
+	// 20 sessions minus the last (still open, no closing boundary)
+	if total < 15 {
+		t.Errorf("ingest produced %d reports for ~20 sessions", total)
+	}
+
+	// metrics must reflect the traffic
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "vqoe_entries_total") {
+		t.Error("metrics exposition missing counters")
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	fw, _ := testFramework(t)
+	h := NewServer(fw).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Error("healthz failed")
+	}
+}

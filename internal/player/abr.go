@@ -1,0 +1,123 @@
+package player
+
+import (
+	"vqoe/internal/video"
+)
+
+// abr is the adaptive bitrate controller: the representation of the
+// next segment is a function of the throughput with which the previous
+// segments were downloaded and the buffered seconds of playback, the
+// rule the paper describes for HAS (§2.1).
+type abr struct {
+	max video.Quality
+	// tputBps is an EWMA of observed goodput, bits/s. 0 until the
+	// first observation.
+	tputBps float64
+	// safety discounts the estimate before matching it to a bitrate.
+	safety float64
+	// lowBufferSec forces a downswitch; highBufferSec permits an
+	// upswitch.
+	lowBufferSec, highBufferSec float64
+	// upStreak counts consecutive decisions with throughput headroom;
+	// upswitches require a sustained streak (stability hysteresis, so
+	// the player does not oscillate on every throughput wiggle).
+	upStreak int
+}
+
+func newABR(max video.Quality, cfg Config) *abr {
+	a := &abr{
+		max:           max,
+		safety:        0.85,
+		lowBufferSec:  8,
+		highBufferSec: 10,
+	}
+	if cfg.ABRSafety > 0 {
+		a.safety = cfg.ABRSafety
+	}
+	if cfg.ABRLowBufferSec > 0 {
+		a.lowBufferSec = cfg.ABRLowBufferSec
+	}
+	if cfg.ABRHighBufferSec > 0 {
+		a.highBufferSec = cfg.ABRHighBufferSec
+	}
+	return a
+}
+
+// initial returns the fast-start representation. The player already
+// has a throughput hint from the watch-page load, so it starts at a
+// middle rung (360p) rather than the ladder bottom, capped by the
+// device limit; the first ABR decisions adjust from there.
+func (a *abr) initial() video.Quality {
+	if a.max < video.Q360 {
+		return a.max
+	}
+	return video.Q360
+}
+
+// observe feeds the goodput of a finished video chunk (bytes/s).
+func (a *abr) observe(bytesPerSec float64) {
+	bps := bytesPerSec * 8
+	if a.tputBps == 0 {
+		a.tputBps = bps
+		return
+	}
+	a.tputBps = 0.5*a.tputBps + 0.5*bps
+}
+
+// sustainable returns the highest representation whose video+audio
+// bitrate fits inside the discounted throughput estimate.
+func (a *abr) sustainable() video.Quality {
+	best := video.Ladder[0]
+	budget := a.tputBps * a.safety
+	for _, q := range video.Ladder {
+		if q > a.max {
+			break
+		}
+		need := video.DASHRepresentation(q).BitrateBps + video.AudioBitrateBps
+		if need <= budget {
+			best = q
+		}
+	}
+	return best
+}
+
+// next picks the representation for the upcoming segment given the
+// current one and the buffer level. Upswitches are conservative (one
+// ladder step, only with a comfortable buffer); downswitches may jump
+// several steps, which is what produces the large switch amplitudes
+// that damage QoE.
+func (a *abr) next(cur video.Quality, bufferSec float64) video.Quality {
+	if a.tputBps == 0 {
+		return cur
+	}
+	if bufferSec < 2 {
+		// the buffer is empty or nearly so (a stall just happened or
+		// is imminent): drop to the ladder bottom to resume playback
+		// as fast as possible
+		return video.Ladder[0]
+	}
+	target := a.sustainable()
+	curIdx := cur.Index()
+	tgtIdx := target.Index()
+
+	if bufferSec < a.lowBufferSec && tgtIdx >= curIdx && curIdx > 0 {
+		// draining buffer: step down even if throughput looks adequate
+		a.upStreak = 0
+		return video.Ladder[curIdx-1]
+	}
+	if tgtIdx > curIdx {
+		a.upStreak++
+		if bufferSec >= a.highBufferSec && a.upStreak >= 3 {
+			// sustained headroom and a comfortable buffer: jump to the
+			// sustainable rung
+			return target
+		}
+		return cur
+	}
+	a.upStreak = 0
+	if tgtIdx < curIdx {
+		// throughput collapsed: drop straight to the sustainable rung
+		return target
+	}
+	return cur
+}

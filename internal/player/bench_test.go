@@ -1,0 +1,45 @@
+package player
+
+import (
+	"testing"
+
+	"vqoe/internal/netsim"
+	"vqoe/internal/stats"
+	"vqoe/internal/video"
+)
+
+func benchVideo(dur float64) *video.Video {
+	cat := video.NewCatalog(1, stats.NewRand(1))
+	v := cat.Videos[0]
+	v.Duration = dur
+	return v
+}
+
+func BenchmarkAdaptiveSession(b *testing.B) {
+	v := benchVideo(180)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := netsim.NewPath(netsim.CommuterProfile(), stats.NewRand(int64(i)))
+		Run(v, net, DefaultConfig(Adaptive), stats.NewRand(int64(i)+1))
+	}
+}
+
+func BenchmarkProgressiveSession(b *testing.B) {
+	v := benchVideo(180)
+	cfg := DefaultConfig(Progressive)
+	cfg.MaxQuality = video.Q360
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := netsim.NewPath(netsim.StaticProfile(), stats.NewRand(int64(i)))
+		Run(v, net, cfg, stats.NewRand(int64(i)+1))
+	}
+}
+
+func BenchmarkHourLongAdaptiveSession(b *testing.B) {
+	v := benchVideo(2400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := netsim.NewPath(netsim.StaticProfile(), stats.NewRand(int64(i)))
+		Run(v, net, DefaultConfig(Adaptive), stats.NewRand(int64(i)+1))
+	}
+}

@@ -1,0 +1,157 @@
+package sessionizer
+
+import (
+	"testing"
+
+	"vqoe/internal/netsim"
+	"vqoe/internal/player"
+	"vqoe/internal/stats"
+	"vqoe/internal/video"
+	"vqoe/internal/weblog"
+)
+
+// buildStream renders n sequential encrypted sessions of one
+// subscriber, separated by the given gap, and returns the combined
+// entries plus per-entry truth labels.
+func buildStream(t *testing.T, n int, gapSec float64, seed int64) ([]weblog.Entry, []string) {
+	t.Helper()
+	r := stats.NewRand(seed)
+	cat := video.NewCatalog(10, r)
+	net := &netsim.Scripted{Steps: []netsim.ScriptStep{
+		{Cond: netsim.Conditions{BandwidthBps: 4e6, RTT: 0.08}},
+	}}
+	var entries []weblog.Entry
+	var labels []string
+	offset := 0.0
+	for i := 0; i < n; i++ {
+		v := cat.Pick()
+		v.Duration = 60
+		tr := player.Run(v, net, player.DefaultConfig(player.Adaptive), r.Fork())
+		es := weblog.FromTrace(tr, weblog.Options{
+			Subscriber: "sub", Encrypted: true, TimeOffset: offset,
+		})
+		for range es {
+			labels = append(labels, tr.SessionID)
+		}
+		entries = append(entries, es...)
+		offset += tr.Duration + gapSec
+	}
+	return entries, labels
+}
+
+func TestGroupSequentialSessions(t *testing.T) {
+	entries, labels := buildStream(t, 5, 60, 1)
+	sessions := Group(entries, DefaultConfig())
+	ev := Evaluate(entries, sessions, labels)
+	if ev.TrueSessions != 5 {
+		t.Fatalf("true sessions = %d", ev.TrueSessions)
+	}
+	if ev.Perfect != 5 {
+		t.Errorf("perfect reconstructions %d/5 (purity %.2f)", ev.Perfect, ev.ChunkPurity)
+	}
+	if ev.PerfectRate() != 1 {
+		t.Errorf("perfect rate %v", ev.PerfectRate())
+	}
+}
+
+func TestGroupFiltersForeignDomains(t *testing.T) {
+	entries, labels := buildStream(t, 2, 60, 2)
+	// inject unrelated traffic in the middle
+	entries = append(entries, weblog.Entry{
+		Timestamp: entries[len(entries)/2].Timestamp + 0.01,
+		Host:      "ads.example.com", Bytes: 999,
+	})
+	labels = append(labels, "")
+	sessions := Group(entries, DefaultConfig())
+	for _, s := range sessions {
+		for _, i := range s.Indices {
+			if entries[i].Host == "ads.example.com" {
+				t.Fatal("foreign domain survived filtering")
+			}
+		}
+	}
+}
+
+func TestGroupSplitsOnIdleGapWithoutPageLoads(t *testing.T) {
+	entries, labels := buildStream(t, 3, 120, 3)
+	// disable the page-boundary cue: rely on gaps alone
+	cfg := Config{IdleGap: 30, PageBoundary: false}
+	sessions := Group(entries, cfg)
+	ev := Evaluate(entries, sessions, labels)
+	if ev.Perfect != 3 {
+		t.Errorf("gap-only grouping got %d/3 perfect", ev.Perfect)
+	}
+}
+
+func TestGroupBackToBackNeedsPageBoundary(t *testing.T) {
+	// tiny gaps: only the watch-page pattern separates the sessions
+	entries, labels := buildStream(t, 3, 2, 4)
+	withPages := Group(entries, DefaultConfig())
+	evP := Evaluate(entries, withPages, labels)
+	gapOnly := Group(entries, Config{IdleGap: 30, PageBoundary: false})
+	evG := Evaluate(entries, gapOnly, labels)
+	if evP.Perfect < 3 {
+		t.Errorf("page-boundary grouping got %d/3", evP.Perfect)
+	}
+	if evG.Perfect >= evP.Perfect {
+		t.Errorf("gap-only (%d) should not beat page-boundary (%d) on back-to-back sessions",
+			evG.Perfect, evP.Perfect)
+	}
+}
+
+func TestGroupEmptyInput(t *testing.T) {
+	if got := Group(nil, DefaultConfig()); len(got) != 0 {
+		t.Error("empty input should yield no sessions")
+	}
+}
+
+func TestEvaluateParallelSessionsImperfect(t *testing.T) {
+	// interleave two sessions in time: the stated limitation of §5.2
+	e1, l1 := buildStream(t, 1, 0, 5)
+	e2, l2 := buildStream(t, 1, 0, 6)
+	var entries []weblog.Entry
+	var labels []string
+	i, j := 0, 0
+	for i < len(e1) || j < len(e2) {
+		if j >= len(e2) || (i < len(e1) && e1[i].Timestamp <= e2[j].Timestamp) {
+			entries = append(entries, e1[i])
+			labels = append(labels, l1[i])
+			i++
+		} else {
+			entries = append(entries, e2[j])
+			labels = append(labels, l2[j])
+			j++
+		}
+	}
+	sessions := Group(entries, DefaultConfig())
+	ev := Evaluate(entries, sessions, labels)
+	if ev.TrueSessions != 2 {
+		t.Fatalf("true sessions = %d", ev.TrueSessions)
+	}
+	if ev.Perfect == 2 {
+		t.Error("parallel playback should not reconstruct perfectly")
+	}
+}
+
+func TestSessionTimesWellFormed(t *testing.T) {
+	entries, _ := buildStream(t, 4, 45, 7)
+	for _, s := range Group(entries, DefaultConfig()) {
+		if s.End < s.Start {
+			t.Fatalf("session end %v before start %v", s.End, s.Start)
+		}
+		prev := -1.0
+		for _, i := range s.Indices {
+			if entries[i].Timestamp < prev {
+				t.Fatal("indices not time-ordered")
+			}
+			prev = entries[i].Timestamp
+		}
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(nil, nil, nil)
+	if ev.PerfectRate() != 0 || ev.ChunkPurity != 0 {
+		t.Error("empty evaluation should be zeroes")
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. It answers both directions: F(x) (fraction of the sample ≤ x)
+// and the quantile function F⁻¹(q).
+type ECDF struct {
+	xs []float64 // sorted sample
+}
+
+// NewECDF builds an ECDF from xs (copied; xs is not modified).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{xs: s}
+}
+
+// Len reports the sample size.
+func (e *ECDF) Len() int { return len(e.xs) }
+
+// At returns F(x), the fraction of samples ≤ x. An empty ECDF returns 0.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	// sort.SearchFloat64s returns the first index with xs[i] >= x; we
+	// want the count of samples <= x, so search for the first > x.
+	n := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
+	return float64(n) / float64(len(e.xs))
+}
+
+// Quantile returns the smallest sample value v such that F(v) ≥ q,
+// for q in (0, 1]. Quantile(0) returns the sample minimum.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.xs[0]
+	}
+	if q >= 1 {
+		return e.xs[len(e.xs)-1]
+	}
+	idx := int(q*float64(len(e.xs))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.xs) {
+		idx = len(e.xs) - 1
+	}
+	return e.xs[idx]
+}
+
+// Points returns up to n (x, F(x)) pairs spanning the sample, suitable
+// for plotting a CDF curve. Fewer points are returned for small samples.
+func (e *ECDF) Points(n int) []Point {
+	if len(e.xs) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(e.xs) {
+		n = len(e.xs)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(e.xs) - 1) / max(n-1, 1)
+		pts = append(pts, Point{
+			X: e.xs[idx],
+			Y: float64(idx+1) / float64(len(e.xs)),
+		})
+	}
+	return pts
+}
+
+// Point is a single (x, y) coordinate of a rendered curve.
+type Point struct{ X, Y float64 }
+
+// RenderASCII renders the ECDF as a small text plot, used by the cmd
+// tools to show figure shapes in a terminal. width and height are the
+// plot's interior dimensions in characters.
+func (e *ECDF) RenderASCII(title string, width, height int) string {
+	if len(e.xs) == 0 || width < 2 || height < 2 {
+		return title + ": (empty)\n"
+	}
+	lo, hi := e.xs[0], e.xs[len(e.xs)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		x := lo + (hi-lo)*float64(c)/float64(width-1)
+		y := e.At(x)
+		r := height - 1 - int(y*float64(height-1)+0.5)
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		frac := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", width/2, lo, width-width/2+2, hi)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+func TestP2MedianUniform(t *testing.T) {
+	r := NewRand(1)
+	q := NewP2Quantile(0.5)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := r.Float64() * 100
+		xs = append(xs, x)
+		q.Observe(x)
+	}
+	got := q.Value()
+	want := exactQuantile(xs, 0.5)
+	if math.Abs(got-want) > 1.5 {
+		t.Errorf("P² median %v, exact %v", got, want)
+	}
+	if q.Count() != 20000 {
+		t.Errorf("count %d", q.Count())
+	}
+}
+
+func TestP2TailQuantileLogNormal(t *testing.T) {
+	r := NewRand(2)
+	q := NewP2Quantile(0.9)
+	var xs []float64
+	for i := 0; i < 30000; i++ {
+		x := r.LogNormal(3, 0.8)
+		xs = append(xs, x)
+		q.Observe(x)
+	}
+	got := q.Value()
+	want := exactQuantile(xs, 0.9)
+	if rel := math.Abs(got-want) / want; rel > 0.08 {
+		t.Errorf("P² p90 %v, exact %v (rel %v)", got, want, rel)
+	}
+}
+
+func TestP2SmallStreams(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	q.Observe(10)
+	if q.Value() != 10 {
+		t.Error("single sample should return itself")
+	}
+	q.Observe(20)
+	q.Observe(30)
+	v := q.Value()
+	if v < 10 || v > 30 {
+		t.Errorf("3-sample estimate %v out of range", v)
+	}
+}
+
+func TestP2ExtremePClamped(t *testing.T) {
+	for _, p := range []float64{-1, 0, 1, 2} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 100; i++ {
+			q.Observe(float64(i))
+		}
+		v := q.Value()
+		if v < 0 || v > 99 {
+			t.Errorf("p=%v estimate %v outside sample range", p, v)
+		}
+	}
+}
+
+// Property: the estimate always lies within the observed min/max.
+func TestP2BoundedProperty(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Abs(math.Mod(pRaw, 1))
+		if p == 0 {
+			p = 0.5
+		}
+		q := NewP2Quantile(p)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			q.Observe(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		v := q.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on sorted input the estimator still tracks the quantile
+// (adversarial ordering for streaming estimators).
+func TestP2SortedInput(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	n := 10001
+	for i := 0; i < n; i++ {
+		q.Observe(float64(i))
+	}
+	want := float64(n-1) / 2
+	if rel := math.Abs(q.Value()-want) / want; rel > 0.05 {
+		t.Errorf("sorted-input median %v, want ≈%v", q.Value(), want)
+	}
+}
+
+func BenchmarkP2Observe(b *testing.B) {
+	r := NewRand(3)
+	q := NewP2Quantile(0.9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Observe(r.Float64())
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats provides the descriptive statistics, empirical
+// distributions and random variates used throughout vqoe.
+//
+// Everything in this package is deterministic given its inputs; random
+// variates are drawn from explicitly seeded sources so that datasets,
+// tables and figures are reproducible run to run.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by computations that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the descriptive statistics of a sample. It is the unit
+// from which session feature vectors are assembled (a "chunk size min",
+// "RTT mean" and so on are fields of a Summary).
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Std    float64 // population standard deviation
+	Sum    float64
+	sorted []float64
+}
+
+// Summarize computes a Summary of xs. It copies and sorts the sample so
+// that subsequent Percentile calls are O(1); xs itself is not modified.
+// Summarizing an empty sample yields a zero Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.sorted = make([]float64, s.N)
+	copy(s.sorted, xs)
+	sort.Float64s(s.sorted)
+	s.Min = s.sorted[0]
+	s.Max = s.sorted[s.N-1]
+	for _, x := range s.sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range s.sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the summarized
+// sample using linear interpolation between closest ranks. It returns 0
+// for an empty Summary.
+func (s Summary) Percentile(p float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 100 {
+		return s.sorted[s.N-1]
+	}
+	rank := p / 100 * float64(s.N-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// Median is shorthand for the 50th percentile.
+func (s Summary) Median() float64 { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs, or 0 if the
+// sample has fewer than one element.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice; callers
+// summarizing possibly-empty samples should use Summarize instead.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CumSum returns the cumulative sum of xs: out[i] = Σ xs[0..i].
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var run float64
+	for i, x := range xs {
+		run += x
+		out[i] = run
+	}
+	return out
+}
+
+// Diff returns consecutive differences: out[i] = xs[i+1] - xs[i].
+// The result has length len(xs)-1 (nil for fewer than two samples).
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

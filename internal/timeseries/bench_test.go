@@ -1,0 +1,52 @@
+package timeseries
+
+import (
+	"testing"
+
+	"vqoe/internal/stats"
+)
+
+func benchSeries(n int) []float64 {
+	r := stats.NewRand(1)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(100, 20)
+		if i > n/2 {
+			xs[i] += 300
+		}
+	}
+	return xs
+}
+
+func BenchmarkCUSUMUpdate(b *testing.B) {
+	c := NewCUSUM(100, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Update(float64(i % 200))
+	}
+}
+
+func BenchmarkChart(b *testing.B) {
+	xs := benchSeries(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Chart(xs)
+	}
+}
+
+func BenchmarkChangeScore(b *testing.B) {
+	xs := benchSeries(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChangeScore(xs)
+	}
+}
+
+func BenchmarkChangePoints(b *testing.B) {
+	xs := benchSeries(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChangePoints(xs, 500)
+	}
+}

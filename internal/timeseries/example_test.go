@@ -1,0 +1,28 @@
+package timeseries_test
+
+import (
+	"fmt"
+
+	"vqoe/internal/timeseries"
+)
+
+// A level shift in the series drives the CUSUM chart up; the standard
+// deviation of the chart is the paper's per-session change score.
+func ExampleChangeScore() {
+	steady := []float64{10, 10, 10, 10, 10, 10, 10, 10}
+	shifted := []float64{10, 10, 10, 10, 100, 100, 100, 100}
+	fmt.Printf("steady:  %.0f\n", timeseries.ChangeScore(steady))
+	fmt.Printf("shifted: %.0f\n", timeseries.ChangeScore(shifted))
+	// Output:
+	// steady:  0
+	// shifted: 25
+}
+
+func ExampleCUSUM() {
+	c := timeseries.NewCUSUM(0, 0.5)
+	for _, x := range []float64{0, 0, 3, 3, 3} {
+		fmt.Printf("%.1f ", c.Update(x))
+	}
+	// Output:
+	// 0.0 0.0 2.5 5.0 7.5
+}

@@ -1,0 +1,324 @@
+// Package video models the content side of the streaming service: the
+// quality ladder with its itags and bitrates, per-segment sizes with
+// variable-bitrate spread, and a catalog with Zipf popularity and
+// heavy-tailed durations.
+//
+// The paper's ground truth hinges on the 'itag' URI parameter that
+// encodes the bit-rate, frame-rate and resolution of each segment
+// (§3.2); the ladder below mirrors YouTube's DASH MP4 video itags of
+// that era plus the legacy progressive formats.
+package video
+
+import (
+	"fmt"
+
+	"vqoe/internal/stats"
+)
+
+// Quality identifies a representation on the ladder by its vertical
+// resolution (144, 240, 360, 480, 720, 1080). The paper's labelling
+// rule works directly in this unit.
+type Quality int
+
+// The ladder observed in the dataset (§4.2).
+const (
+	Q144  Quality = 144
+	Q240  Quality = 240
+	Q360  Quality = 360
+	Q480  Quality = 480
+	Q720  Quality = 720
+	Q1080 Quality = 1080
+)
+
+// Ladder lists the representations from lowest to highest.
+var Ladder = []Quality{Q144, Q240, Q360, Q480, Q720, Q1080}
+
+// String renders "480p" style names.
+func (q Quality) String() string { return fmt.Sprintf("%dp", int(q)) }
+
+// Index returns the ladder position of q, or -1 for unknown values.
+func (q Quality) Index() int {
+	for i, l := range Ladder {
+		if l == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// Representation describes one encoding of a video.
+type Representation struct {
+	Quality    Quality
+	Itag       int     // YouTube DASH video itag
+	BitrateBps float64 // nominal video bitrate
+}
+
+// dashLadder mirrors YouTube's MP4/AVC DASH itags (2016 era).
+var dashLadder = []Representation{
+	{Q144, 160, 110e3},
+	{Q240, 133, 250e3},
+	{Q360, 134, 520e3},
+	{Q480, 135, 1000e3},
+	{Q720, 136, 2300e3},
+	{Q1080, 137, 4300e3},
+}
+
+// progressiveLadder mirrors the legacy single-file formats (itags
+// 17/36/18/22) used by the non-adaptive players that dominate the
+// cleartext dataset.
+var progressiveLadder = []Representation{
+	{Q144, 17, 120e3},
+	{Q240, 36, 260e3},
+	{Q360, 18, 560e3},
+	{Q720, 22, 2500e3},
+}
+
+// AudioItag is the DASH m4a audio stream (128 kbit/s).
+const AudioItag = 140
+
+// AudioBitrateBps is the nominal audio bitrate.
+const AudioBitrateBps = 128e3
+
+// DASHRepresentation returns the adaptive representation for q.
+func DASHRepresentation(q Quality) Representation {
+	for _, r := range dashLadder {
+		if r.Quality == q {
+			return r
+		}
+	}
+	return dashLadder[0]
+}
+
+// ProgressiveRepresentation returns the legacy single-file
+// representation closest to q without exceeding it.
+func ProgressiveRepresentation(q Quality) Representation {
+	best := progressiveLadder[0]
+	for _, r := range progressiveLadder {
+		if r.Quality <= q && r.Quality >= best.Quality {
+			best = r
+		}
+	}
+	return best
+}
+
+// RepresentationByItag resolves an itag back to its representation,
+// which is how the weblog parser reverse-engineers the ground truth.
+// ok is false for unknown itags.
+func RepresentationByItag(itag int) (Representation, bool) {
+	for _, r := range dashLadder {
+		if r.Itag == itag {
+			return r, true
+		}
+	}
+	for _, r := range progressiveLadder {
+		if r.Itag == itag {
+			return r, true
+		}
+	}
+	return Representation{}, false
+}
+
+// SegmentSeconds is the playback duration of one DASH segment of the
+// reference (YouTube-like) service.
+const SegmentSeconds = 5.0
+
+// ServiceProfile captures how a streaming service packages content —
+// the §7 generalization axis: "our analysis of other popular video
+// streaming services (Vevo, Vimeo, Dailymotion...) has revealed that
+// they have adopted the same technologies". The delivery mechanics are
+// shared; segment duration, encoding ladder level and content mix
+// differ per service.
+type ServiceProfile struct {
+	Name string
+	// SegmentSec is the DASH segment playback duration.
+	SegmentSec float64
+	// LadderScale multiplies the reference ladder bitrates (services
+	// encode the same resolutions at different rates).
+	LadderScale float64
+	// ComplexityCV is the spread of per-video content complexity.
+	ComplexityCV float64
+}
+
+// YouTubeLike is the reference service the paper studies.
+func YouTubeLike() ServiceProfile {
+	return ServiceProfile{Name: "youtube-like", SegmentSec: 5, LadderScale: 1, ComplexityCV: 0.35}
+}
+
+// VimeoLike uses longer segments and a higher-bitrate ladder.
+func VimeoLike() ServiceProfile {
+	return ServiceProfile{Name: "vimeo-like", SegmentSec: 6, LadderScale: 1.3, ComplexityCV: 0.45}
+}
+
+// DailymotionLike uses longer, leaner segments.
+func DailymotionLike() ServiceProfile {
+	return ServiceProfile{Name: "dailymotion-like", SegmentSec: 10, LadderScale: 0.85, ComplexityCV: 0.30}
+}
+
+// Video is one item of the catalog.
+type Video struct {
+	ID       string  // 11-character content ID
+	Duration float64 // seconds
+	// rateScale captures content complexity: the whole encoding ladder
+	// of a static-scene clip undershoots the nominal rates, an
+	// action-heavy clip overshoots them. This is what makes adjacent
+	// quality rungs overlap across different videos, the source of the
+	// LD/SD/HD confusion the paper observes (§4.2).
+	rateScale float64
+	// vbrCV controls per-segment size spread around the nominal rate.
+	vbrCV float64
+	// segSec overrides the segment duration (0 = SegmentSeconds).
+	segSec float64
+	// sizeSeed fixes this video's segment size pattern so that two
+	// playbacks of the same content at the same quality agree.
+	sizeSeed int64
+}
+
+// SegSeconds returns the video's DASH segment duration.
+func (v *Video) SegSeconds() float64 {
+	if v.segSec > 0 {
+		return v.segSec
+	}
+	return SegmentSeconds
+}
+
+// minTailFraction is the smallest allowed tail-segment duration as a
+// fraction of SegmentSeconds: segmenters merge shorter remainders into
+// the preceding segment rather than emit a tiny final segment.
+const minTailFraction = 0.5
+
+// NumSegments returns the number of DASH segments of the video. A
+// trailing remainder shorter than half a segment is absorbed by the
+// last full segment, as real segmenters do.
+func (v *Video) NumSegments() int {
+	seg := v.SegSeconds()
+	n := int(v.Duration / seg)
+	rem := v.Duration - float64(n)*seg
+	if rem >= minTailFraction*seg {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SegmentDuration returns the playback seconds of segment idx. All but
+// the last segment run SegmentSeconds; the last covers the remainder
+// and lasts between 0.5× and 1.5× the nominal duration.
+func (v *Video) SegmentDuration(idx int) float64 {
+	seg := v.SegSeconds()
+	n := v.NumSegments()
+	if idx < n-1 {
+		return seg
+	}
+	rem := v.Duration - float64(n-1)*seg
+	if rem <= 0 {
+		return seg
+	}
+	return rem
+}
+
+// SegmentSize returns the byte size of video segment idx at quality q.
+// Sizes follow the representation's nominal bitrate with a VBR spread
+// that is deterministic per (video, quality, idx): scene complexity is
+// a property of the content, not the playback.
+func (v *Video) SegmentSize(q Quality, idx int) int {
+	rep := DASHRepresentation(q)
+	mean := v.scaled(rep.BitrateBps) / 8 * v.SegmentDuration(idx)
+	r := stats.NewRand(v.sizeSeed ^ int64(q)<<32 ^ int64(idx))
+	size := r.LogNormalMeanCV(mean, v.vbrCV)
+	if size < 1000 {
+		size = 1000
+	}
+	return int(size)
+}
+
+// scaled applies the video's content-complexity factor to a nominal
+// ladder bitrate.
+func (v *Video) scaled(bps float64) float64 {
+	if v.rateScale <= 0 {
+		return bps
+	}
+	return bps * v.rateScale
+}
+
+// AudioSegmentSize returns the size of audio segment idx.
+func (v *Video) AudioSegmentSize(idx int) int {
+	return int(AudioBitrateBps / 8 * v.SegmentDuration(idx))
+}
+
+// ProgressiveSize returns the full file size at a progressive quality.
+func (v *Video) ProgressiveSize(q Quality) int {
+	rep := ProgressiveRepresentation(q)
+	// progressive files mux audio into the container
+	return int((v.scaled(rep.BitrateBps) + AudioBitrateBps) / 8 * v.Duration)
+}
+
+// Catalog is a set of videos with a popularity distribution.
+type Catalog struct {
+	Videos []*Video
+	zipf   *stats.Zipf
+}
+
+// NewCatalog generates n videos of the reference YouTube-like service.
+// Durations are drawn from a bounded Pareto with a ~180 s mean,
+// matching the paper's reported average session duration (§4.3);
+// popularity is Zipf — the encrypted experiment replays the "100 most
+// popular videos" list (§5.1).
+func NewCatalog(n int, r *stats.Rand) *Catalog {
+	return NewServiceCatalog(n, r, YouTubeLike())
+}
+
+// NewServiceCatalog generates a catalog packaged per the given service
+// profile.
+func NewServiceCatalog(n int, r *stats.Rand, sp ServiceProfile) *Catalog {
+	if n < 1 {
+		n = 1
+	}
+	if sp.SegmentSec <= 0 {
+		sp.SegmentSec = SegmentSeconds
+	}
+	if sp.LadderScale <= 0 {
+		sp.LadderScale = 1
+	}
+	c := &Catalog{Videos: make([]*Video, n)}
+	for i := range c.Videos {
+		dur := r.Pareto(60, 1.5)
+		if dur > 2400 {
+			dur = 2400 // cap at 40 minutes
+		}
+		c.Videos[i] = &Video{
+			ID:        randomID(r),
+			Duration:  dur,
+			rateScale: sp.LadderScale * stats.Clamp(r.LogNormalMeanCV(1, sp.ComplexityCV), 0.45, 2.2),
+			vbrCV:     0.10 + 0.18*r.Float64(),
+			segSec:    sp.SegmentSec,
+			sizeSeed:  r.Int63(),
+		}
+	}
+	c.zipf = stats.NewZipf(r, 1.2, n)
+	return c
+}
+
+// Pick draws a video by popularity.
+func (c *Catalog) Pick() *Video {
+	return c.Videos[c.zipf.Next()]
+}
+
+// Top returns the k most popular videos (ranks 0..k-1).
+func (c *Catalog) Top(k int) []*Video {
+	if k > len(c.Videos) {
+		k = len(c.Videos)
+	}
+	return c.Videos[:k]
+}
+
+const idAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+
+func randomID(r *stats.Rand) string {
+	b := make([]byte, 11)
+	for i := range b {
+		b[i] = idAlphabet[r.Intn(len(idAlphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"vqoe/internal/features"
+	"vqoe/internal/player"
+)
+
+func smallCorpus(t *testing.T, n int, encrypted bool) *Corpus {
+	t.Helper()
+	cfg := DefaultConfig(n)
+	cfg.Encrypted = encrypted
+	cfg.Seed = 7
+	return Generate(cfg)
+}
+
+func TestGenerateSize(t *testing.T) {
+	c := smallCorpus(t, 60, false)
+	if c.Len() != 60 {
+		t.Fatalf("corpus size %d, want 60", c.Len())
+	}
+	for _, s := range c.Sessions {
+		if s.Trace == nil || len(s.Entries) == 0 || s.Obs.Len() == 0 {
+			t.Fatal("incomplete session")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallCorpus(t, 25, false)
+	b := smallCorpus(t, 25, false)
+	for i := range a.Sessions {
+		if a.Sessions[i].Trace.SessionID != b.Sessions[i].Trace.SessionID {
+			t.Fatal("same seed should reproduce session IDs")
+		}
+		if a.Sessions[i].RR != b.Sessions[i].RR {
+			t.Fatal("same seed should reproduce labels")
+		}
+	}
+}
+
+func TestGenerateZero(t *testing.T) {
+	if Generate(Config{}).Len() != 0 {
+		t.Error("zero config should produce empty corpus")
+	}
+}
+
+func TestModeMixRoughlyMatchesConfig(t *testing.T) {
+	cfg := DefaultConfig(300)
+	cfg.AdaptiveFraction = 0.5
+	cfg.Seed = 11
+	c := Generate(cfg)
+	adaptive := c.Adaptive().Len()
+	if adaptive < 100 || adaptive > 200 {
+		t.Errorf("adaptive sessions %d of 300, want ≈150", adaptive)
+	}
+}
+
+func TestCleartextLabelsComeFromURIs(t *testing.T) {
+	c := smallCorpus(t, 40, false)
+	for _, s := range c.Sessions {
+		// the URI-derived RR must agree with the trace's own
+		if diff := s.RR - s.Trace.RebufferingRatio(); diff > 0.02 || diff < -0.02 {
+			t.Errorf("URI RR %v vs trace RR %v", s.RR, s.Trace.RebufferingRatio())
+		}
+		if s.Stall != features.LabelStall(s.RR) {
+			t.Error("stall label inconsistent with RR")
+		}
+	}
+}
+
+func TestEncryptedCorpusHasNoURIs(t *testing.T) {
+	c := smallCorpus(t, 20, true)
+	for _, s := range c.Sessions {
+		for _, e := range s.Entries {
+			if e.URI != "" {
+				t.Fatal("encrypted corpus leaked a URI")
+			}
+		}
+	}
+}
+
+func TestProgressiveSessionsNeverSwitch(t *testing.T) {
+	c := smallCorpus(t, 80, false)
+	for _, s := range c.Sessions {
+		if s.Mode == player.Progressive && s.SwitchFreq != 0 {
+			t.Errorf("progressive session with %d switches", s.SwitchFreq)
+		}
+	}
+}
+
+func TestDistributionsPlausible(t *testing.T) {
+	c := smallCorpus(t, 400, false)
+	stall := c.StallDistribution()
+	total := float64(c.Len())
+	noStallFrac := float64(stall[0]) / total
+	if noStallFrac < 0.6 || noStallFrac > 0.98 {
+		t.Errorf("no-stall fraction %.2f outside sane band (dist %v)", noStallFrac, stall)
+	}
+	if stall[1] == 0 && stall[2] == 0 {
+		t.Error("no problematic sessions at all — stall model untrainable")
+	}
+}
+
+func TestSwitchTruthFromQualities(t *testing.T) {
+	freq, amp := switchTruthFromQualities([]float64{144, 144, 480, 480, 360})
+	if freq != 2 {
+		t.Errorf("freq = %d, want 2", freq)
+	}
+	// eq 2: (0+336+0+120)/4
+	want := (336.0 + 120.0) / 4
+	if amp != want {
+		t.Errorf("amp = %v, want %v", amp, want)
+	}
+	if f, a := switchTruthFromQualities([]float64{360}); f != 0 || a != 0 {
+		t.Error("single chunk should have no switches")
+	}
+}
+
+func TestGenerateStudy(t *testing.T) {
+	cfg := DefaultStudyConfig()
+	cfg.Sessions = 30
+	cfg.Seed = 5
+	st := GenerateStudy(cfg)
+	if st.Corpus.Len() != 30 {
+		t.Fatalf("study size %d", st.Corpus.Len())
+	}
+	if len(st.Stream) != len(st.StreamLabels) {
+		t.Fatal("stream labels misaligned")
+	}
+	// stream must be time-ordered across sessions
+	prev := -1.0
+	for _, e := range st.Stream {
+		if e.Timestamp < prev-1e-6 {
+			t.Fatal("stream not time-ordered")
+		}
+		prev = e.Timestamp
+		if !e.Encrypted {
+			t.Fatal("study stream must be encrypted")
+		}
+	}
+	for _, s := range st.Corpus.Sessions {
+		if s.Mode != player.Adaptive {
+			t.Fatal("study sessions must be adaptive")
+		}
+	}
+}
+
+func TestStudyEmpty(t *testing.T) {
+	st := GenerateStudy(StudyConfig{})
+	if st.Corpus.Len() != 0 {
+		t.Error("empty study config should produce no sessions")
+	}
+}
+
+func TestFigure1SessionStalls(t *testing.T) {
+	fs := Figure1Session(1)
+	if fs.Trace.StallCount() < 1 {
+		t.Errorf("figure-1 session has %d stalls, want ≥1", fs.Trace.StallCount())
+	}
+	if fs.Obs.Len() == 0 {
+		t.Fatal("no observations")
+	}
+}
+
+func TestFigure3SessionSwitchesUp(t *testing.T) {
+	fs := Figure3Session(1)
+	up := false
+	for _, sw := range fs.Trace.Switches {
+		if sw.To > sw.From {
+			up = true
+		}
+	}
+	if !up {
+		t.Error("figure-3 session should contain an upswitch")
+	}
+}

@@ -1,0 +1,126 @@
+// Package vqoe measures video streaming Quality of Experience from
+// passively observed — and in particular encrypted — network traffic.
+// It is a from-scratch reproduction of "Measuring Video QoE from
+// Encrypted Traffic" (Dimopoulos, Leontiadis, Barlet-Ros,
+// Papagiannaki; ACM IMC 2016).
+//
+// The package detects the three key QoE impairments of the paper from
+// per-chunk transport statistics alone:
+//
+//   - stalling (none / mild / severe, labelled by rebuffering ratio),
+//   - average representation quality (LD / SD / HD),
+//   - representation switching (steady / variable, via CUSUM change
+//     detection over the Δsize×Δt chunk series).
+//
+// A Framework is trained once on cleartext traffic, whose request URIs
+// carry the ground truth, and then applied unchanged to encrypted
+// flows:
+//
+//	fw, report, err := vqoe.TrainFramework(cleartext, adaptive, vqoe.DefaultTrainConfig())
+//	...
+//	assessment := fw.Analyze(vqoe.ObservationsFromEntries(entries))
+//
+// Because the paper's substrate (an operator's cellular network and
+// the YouTube delivery pipeline) is not shippable, the package also
+// contains a full synthetic substrate — network path model, DASH and
+// progressive players, proxy weblog rendering — used by the corpus
+// generators below and by the reproduction harness in cmd/ and
+// bench_test.go. See DESIGN.md for the substitution map.
+package vqoe
+
+import (
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/sessionizer"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+// Framework bundles the three trained detectors.
+type Framework = core.Framework
+
+// Report is a per-session QoE assessment.
+type Report = core.Report
+
+// TrainConfig are the training hyperparameters.
+type TrainConfig = core.TrainConfig
+
+// FrameworkReport carries training diagnostics (selected features,
+// cross-validation confusion matrices).
+type FrameworkReport = core.FrameworkReport
+
+// StallLabel, RepLabel and VarLabel are the impairment classes.
+type (
+	StallLabel = features.StallLabel
+	RepLabel   = features.RepLabel
+	VarLabel   = features.VarLabel
+)
+
+// Impairment class values.
+const (
+	NoStall     = features.NoStall
+	MildStall   = features.MildStall
+	SevereStall = features.SevereStall
+
+	LD = features.LD
+	SD = features.SD
+	HD = features.HD
+)
+
+// SessionObs is the time-ordered chunk observation sequence of one
+// session — the only input the detectors need.
+type SessionObs = features.SessionObs
+
+// WeblogEntry is one proxy log line (cleartext or encrypted).
+type WeblogEntry = weblog.Entry
+
+// Corpus is a set of labelled sessions; Study is the single-subscriber
+// encrypted evaluation set.
+type (
+	Corpus = workload.Corpus
+	Study  = workload.Study
+)
+
+// CorpusConfig and StudyConfig parameterize dataset generation.
+type (
+	CorpusConfig = workload.Config
+	StudyConfig  = workload.StudyConfig
+)
+
+// DefaultTrainConfig mirrors the paper: Random Forest, CFS feature
+// selection, 10-fold cross-validation, balanced training classes.
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// TrainFramework trains the stall, representation and switch detectors
+// on cleartext corpora (the representation models use repCorpus, which
+// should contain adaptive sessions; pass nil to reuse stallCorpus).
+func TrainFramework(stallCorpus, repCorpus *Corpus, cfg TrainConfig) (*Framework, *FrameworkReport, error) {
+	return core.TrainFramework(stallCorpus, repCorpus, cfg)
+}
+
+// ObservationsFromEntries assembles a session observation from its
+// weblog entries (either view; only TLS-surviving fields are used).
+func ObservationsFromEntries(entries []WeblogEntry) SessionObs {
+	return features.FromEntries(entries)
+}
+
+// DefaultCorpusConfig returns the cleartext corpus generator
+// configuration at the given size.
+func DefaultCorpusConfig(sessions int) CorpusConfig {
+	return workload.DefaultConfig(sessions)
+}
+
+// GenerateCorpus builds a synthetic labelled corpus.
+func GenerateCorpus(cfg CorpusConfig) *Corpus { return workload.Generate(cfg) }
+
+// DefaultStudyConfig mirrors the paper's §5 encrypted study.
+func DefaultStudyConfig() StudyConfig { return workload.DefaultStudyConfig() }
+
+// GenerateStudy builds the encrypted evaluation dataset.
+func GenerateStudy(cfg StudyConfig) *Study { return workload.GenerateStudy(cfg) }
+
+// GroupSessions reconstructs sessions from an encrypted weblog stream
+// using the §5.2 heuristics and returns index groups into entries.
+func GroupSessions(entries []WeblogEntry) []sessionizer.Session {
+	return sessionizer.Group(entries, sessionizer.DefaultConfig())
+}

@@ -1,0 +1,74 @@
+package vqoe_test
+
+import (
+	"testing"
+
+	"vqoe"
+)
+
+// TestPublicAPI exercises the exported surface end to end the way the
+// README's quickstart describes it.
+func TestPublicAPI(t *testing.T) {
+	clearCfg := vqoe.DefaultCorpusConfig(500)
+	clearCfg.Seed = 61
+	cleartext := vqoe.GenerateCorpus(clearCfg)
+	if cleartext.Len() != 500 {
+		t.Fatalf("corpus size %d", cleartext.Len())
+	}
+
+	hasCfg := vqoe.DefaultCorpusConfig(250)
+	hasCfg.AdaptiveFraction = 1
+	hasCfg.Seed = 62
+	adaptive := vqoe.GenerateCorpus(hasCfg)
+
+	cfg := vqoe.DefaultTrainConfig()
+	cfg.CVFolds = 3
+	cfg.Forest.Trees = 15
+	fw, report, err := vqoe.TrainFramework(cleartext, adaptive, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stall.CV.Accuracy() <= 0.5 {
+		t.Errorf("stall CV accuracy %.3f", report.Stall.CV.Accuracy())
+	}
+
+	studyCfg := vqoe.DefaultStudyConfig()
+	studyCfg.Sessions = 5
+	studyCfg.Seed = 63
+	study := vqoe.GenerateStudy(studyCfg)
+
+	// reconstruct sessions from the raw stream via the public helper
+	sessions := vqoe.GroupSessions(study.Stream)
+	if len(sessions) == 0 {
+		t.Fatal("no sessions reconstructed")
+	}
+	assessed := 0
+	for _, s := range sessions {
+		entries := make([]vqoe.WeblogEntry, 0, len(s.Indices))
+		for _, i := range s.Indices {
+			entries = append(entries, study.Stream[i])
+		}
+		obs := vqoe.ObservationsFromEntries(entries)
+		if obs.Len() < 3 {
+			continue
+		}
+		r := fw.Analyze(obs)
+		if r.Chunks != obs.Len() {
+			t.Error("report chunk count mismatch")
+		}
+		switch r.Stall {
+		case vqoe.NoStall, vqoe.MildStall, vqoe.SevereStall:
+		default:
+			t.Errorf("invalid stall label %v", r.Stall)
+		}
+		switch r.Representation {
+		case vqoe.LD, vqoe.SD, vqoe.HD:
+		default:
+			t.Errorf("invalid rep label %v", r.Representation)
+		}
+		assessed++
+	}
+	if assessed < 4 {
+		t.Errorf("assessed only %d sessions", assessed)
+	}
+}
