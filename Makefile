@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover report report-quick figures clean
+.PHONY: all build test test-fast vet bench bench-engine cover report report-quick figures clean
 
 all: build vet test
 
@@ -12,15 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# the default test run is race-enabled across every package; the live
+# engine, HTTP pipeline, and metrics collector are all concurrent
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
 
-# race-enabled pass over the concurrent packages
-test-race:
-	$(GO) test -race ./internal/pipeline/ ./internal/ml/ ./internal/workload/
+# quick pass without the race detector's overhead
+test-fast:
+	$(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# throughput sweep of the sharded live engine vs the serial baseline
+bench-engine:
+	$(GO) test -run xxx -bench 'EngineIngest|SerialPipelineIngest' -benchmem .
 
 cover:
 	$(GO) test -cover ./...

@@ -8,13 +8,16 @@
 package vqoe
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"vqoe/internal/core"
+	"vqoe/internal/engine"
 	"vqoe/internal/experiments"
 	"vqoe/internal/ml"
 	"vqoe/internal/packet"
+	"vqoe/internal/pipeline"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/stats"
 	"vqoe/internal/workload"
@@ -358,6 +361,93 @@ func BenchmarkPacketProbePipeline(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pkts))/1e3, "kpkts")
 	b.ReportMetric(float64(txns), "txns")
+}
+
+// ---- Live engine throughput ----
+
+var (
+	liveMu      sync.Mutex
+	liveFW      *core.Framework
+	liveStreams map[int]*workload.Live
+)
+
+// liveFixture shares one framework (built from the suite's trained
+// detectors) and one generated multi-subscriber stream per population
+// size, so the benchmarks below time only ingestion and inference.
+func liveFixture(b *testing.B, subscribers int) (*core.Framework, *workload.Live) {
+	b.Helper()
+	s := suite(b)
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if liveFW == nil {
+		stall, _, err := s.StallModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, _, err := s.RepModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		liveFW = &core.Framework{Stall: stall, Rep: rep, Switch: core.NewSwitchDetector()}
+		liveStreams = map[int]*workload.Live{}
+	}
+	l, ok := liveStreams[subscribers]
+	if !ok {
+		cfg := workload.DefaultLiveConfig()
+		cfg.Subscribers = subscribers
+		cfg.SessionsPerSubscriber = 2
+		cfg.Seed = 99
+		l = workload.GenerateLive(cfg)
+		liveStreams[subscribers] = l
+	}
+	return liveFW, l
+}
+
+// BenchmarkEngineIngest measures the sharded live engine end to end:
+// as many concurrent feeders as shards push the interleaved
+// multi-subscriber stream, then Drain flushes what is still open.
+// entries/s is the headline throughput; compare across the shards=N
+// sub-benchmarks and against BenchmarkSerialPipelineIngest.
+func BenchmarkEngineIngest(b *testing.B) {
+	for _, subs := range []int{32, 128} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("subs=%d/shards=%d", subs, shards), func(b *testing.B) {
+				fw, live := liveFixture(b, subs)
+				cfg := engine.DefaultConfig()
+				cfg.Shards = shards
+				cfg.Mailbox = 1024
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng := engine.New(fw, cfg, func(engine.Report) {})
+					live.Feed(shards, 256, eng.Feed)
+					eng.Drain()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSerialPipelineIngest pushes the same streams through the
+// single-goroutine Analyzer — the baseline the engine's concurrency
+// speedup is measured against.
+func BenchmarkSerialPipelineIngest(b *testing.B) {
+	for _, subs := range []int{32, 128} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			fw, live := liveFixture(b, subs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				an := pipeline.New(fw, pipeline.DefaultConfig())
+				for _, e := range live.Entries {
+					an.Push(e)
+				}
+				an.Flush()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
 }
 
 func BenchmarkAblationSwitchML(b *testing.B) {

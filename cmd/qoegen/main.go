@@ -7,6 +7,13 @@
 //	qoegen -kind cleartext -n 1000 -format csv  > sessions.csv
 //	qoegen -kind encrypted -n 722 -format jsonl > weblog.jsonl
 //	qoegen -kind has -n 500 -format csv -set rep > rep.csv
+//
+// The live kind is the concurrent load-generator workload: an
+// interleaved, time-ordered encrypted weblog for many subscribers at
+// once, ready to replay against qoeserve's /ingest:
+//
+//	qoegen -kind live -subscribers 200 -n 3 -format jsonl | \
+//	    curl -s --data-binary @- http://127.0.0.1:8080/ingest
 package main
 
 import (
@@ -24,13 +31,26 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("kind", "cleartext", "dataset kind: cleartext, has, encrypted")
-		n      = flag.Int("n", 1000, "number of sessions")
-		seed   = flag.Int64("seed", 1, "master seed")
-		format = flag.String("format", "csv", "output format: csv (feature vectors) or jsonl (weblog entries)")
-		set    = flag.String("set", "stall", "feature set for csv output: stall or rep")
+		kind        = flag.String("kind", "cleartext", "dataset kind: cleartext, has, encrypted, live")
+		n           = flag.Int("n", 1000, "number of sessions (per subscriber for -kind live)")
+		seed        = flag.Int64("seed", 1, "master seed")
+		format      = flag.String("format", "csv", "output format: csv (feature vectors) or jsonl (weblog entries)")
+		set         = flag.String("set", "stall", "feature set for csv output: stall or rep")
+		subscribers = flag.Int("subscribers", 64, "concurrent subscriber population for -kind live")
 	)
 	flag.Parse()
+
+	if *kind == "live" {
+		lcfg := workload.DefaultLiveConfig()
+		lcfg.Subscribers = *subscribers
+		lcfg.SessionsPerSubscriber = *n
+		lcfg.Seed = *seed
+		if err := writeLiveJSONL(workload.GenerateLive(lcfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "qoegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var corpus *workload.Corpus
 	switch *kind {
@@ -111,6 +131,18 @@ func writeCSV(out *bufio.Writer, corpus *workload.Corpus, set string) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+func writeLiveJSONL(live *workload.Live) error {
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	for _, e := range live.Entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeJSONL(out *bufio.Writer, corpus *workload.Corpus) error {

@@ -10,15 +10,26 @@
 // synthetic corpus at startup.
 //
 //	qoeserve -addr :8080 -stall stall.model -rep rep.model
+//
+// The /ingest path runs on the sharded live-session engine; -shards
+// and -mailbox size it. On SIGINT/SIGTERM the server stops accepting
+// requests, drains the engine (flushing still-open sessions into the
+// metrics), and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vqoe/internal/core"
+	"vqoe/internal/engine"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/workload"
 )
@@ -30,6 +41,8 @@ func main() {
 		repPath   = flag.String("rep", "", "trained representation model")
 		trainN    = flag.Int("train-n", 800, "synthetic training size when no models given")
 		seed      = flag.Int64("seed", 1, "training seed")
+		shards    = flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
+		mailbox   = flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
 	)
 	flag.Parse()
 
@@ -38,12 +51,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qoeserve:", err)
 		os.Exit(1)
 	}
-	srv := pipeline.NewServer(fw)
-	fmt.Fprintf(os.Stderr, "qoeserve listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	ecfg := engine.DefaultConfig()
+	if *shards > 0 {
+		ecfg.Shards = *shards
+	}
+	if *mailbox > 0 {
+		ecfg.Mailbox = *mailbox
+	}
+	srv := pipeline.NewServerWith(fw, ecfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		fmt.Fprintln(os.Stderr, "qoeserve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		flushed := srv.Drain()
+		fmt.Fprintf(os.Stderr, "qoeserve: drained %d open sessions\n", len(flushed))
+	}()
+
+	fmt.Fprintf(os.Stderr, "qoeserve listening on %s (%d shards)\n", *addr, srv.Engine().Shards())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "qoeserve:", err)
 		os.Exit(1)
 	}
+	<-done
 }
 
 func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Framework, error) {

@@ -145,16 +145,40 @@ func (d *Detector) Evaluate(ds *ml.Dataset) (*ml.Confusion, error) {
 // predictVector classifies one raw feature vector given in the full
 // schema.
 func (d *Detector) predictVector(raw []float64) int {
-	x := make([]float64, len(d.Selected))
+	return d.Forest.Predict(d.project(raw, nil))
+}
+
+// predictVectors classifies a batch of raw feature vectors given in
+// the full schema, sharing the tree-major traversal of
+// Forest.PredictBatch.
+func (d *Detector) predictVectors(raw [][]float64) []int {
+	if len(raw) == 0 {
+		return nil
+	}
+	// one backing array for all projected vectors
+	buf := make([]float64, len(raw)*len(d.Selected))
+	xs := make([][]float64, len(raw))
+	for i, r := range raw {
+		xs[i] = d.project(r, buf[i*len(d.Selected):(i+1)*len(d.Selected)])
+	}
+	return d.Forest.PredictBatch(xs)
+}
+
+// project maps a full-schema vector onto the selected feature subset,
+// writing into dst when it is non-nil.
+func (d *Detector) project(raw, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(d.Selected))
+	}
 	for i, name := range d.Selected {
 		for j, n := range d.full {
 			if n == name {
-				x[i] = raw[j]
+				dst[i] = raw[j]
 				break
 			}
 		}
 	}
-	return d.Forest.Predict(x)
+	return dst
 }
 
 // Save persists the detector (forest + schema).
@@ -234,6 +258,21 @@ func (d *StallDetector) Predict(obs features.SessionObs) features.StallLabel {
 	return features.StallLabel(d.predictVector(features.StallFeatures(obs)))
 }
 
+// PredictBatch classifies many sessions' stalling levels in one
+// tree-major forest pass.
+func (d *StallDetector) PredictBatch(obs []features.SessionObs) []features.StallLabel {
+	raw := make([][]float64, len(obs))
+	for i, o := range obs {
+		raw[i] = features.StallFeatures(o)
+	}
+	preds := d.predictVectors(raw)
+	out := make([]features.StallLabel, len(preds))
+	for i, p := range preds {
+		out[i] = features.StallLabel(p)
+	}
+	return out
+}
+
 // EvaluateCorpus applies the model to a labelled corpus (e.g. the
 // encrypted study) and returns the confusion matrix.
 func (d *StallDetector) EvaluateCorpus(c *workload.Corpus) (*ml.Confusion, error) {
@@ -257,6 +296,21 @@ func TrainRepresentation(c *workload.Corpus, cfg TrainConfig) (*RepresentationDe
 // Predict classifies one session's average representation.
 func (d *RepresentationDetector) Predict(obs features.SessionObs) features.RepLabel {
 	return features.RepLabel(d.predictVector(features.RepFeatures(obs)))
+}
+
+// PredictBatch classifies many sessions' average representations in
+// one tree-major forest pass.
+func (d *RepresentationDetector) PredictBatch(obs []features.SessionObs) []features.RepLabel {
+	raw := make([][]float64, len(obs))
+	for i, o := range obs {
+		raw[i] = features.RepFeatures(o)
+	}
+	preds := d.predictVectors(raw)
+	out := make([]features.RepLabel, len(preds))
+	for i, p := range preds {
+		out[i] = features.RepLabel(p)
+	}
+	return out
 }
 
 // EvaluateCorpus applies the model to a labelled corpus.

@@ -70,6 +70,31 @@ func (f *Framework) Analyze(obs features.SessionObs) Report {
 	}
 }
 
+// AnalyzeBatch assesses many sessions at once. The two forests run in
+// tree-major batch mode (each tree traverses the whole batch while its
+// nodes are cache-hot), which is how the live engine amortizes
+// inference over the sessions a shard closes together. Reports are
+// returned in input order and are identical to per-session Analyze
+// calls.
+func (f *Framework) AnalyzeBatch(obs []features.SessionObs) []Report {
+	if len(obs) == 0 {
+		return nil
+	}
+	stalls := f.Stall.PredictBatch(obs)
+	reps := f.Rep.PredictBatch(obs)
+	out := make([]Report, len(obs))
+	for i, o := range obs {
+		out[i] = Report{
+			Stall:          stalls[i],
+			Representation: reps[i],
+			SwitchVariance: f.Switch.Detect(o),
+			SwitchScore:    f.Switch.Score(o),
+			Chunks:         o.Len(),
+		}
+	}
+	return out
+}
+
 // String renders a one-line summary.
 func (r Report) String() string {
 	sw := "steady"

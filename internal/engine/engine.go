@@ -1,0 +1,311 @@
+// Package engine is the sharded live-session engine: the deployment
+// form of the paper's detection framework for an operator vantage
+// point observing many subscribers at once (§8 envisions >10M). The
+// serial streaming analyzer in internal/pipeline replays one entry
+// stream behind a single lock; this engine shards the flow table by
+// subscriber hash across N worker goroutines so ingest, §5.2
+// sessionization, and forest inference all run concurrently with no
+// cross-shard locking on the hot path.
+//
+// Each shard owns its slice of the flow table (a sessionizer.Tracker),
+// a bounded mailbox with explicit backpressure or drop accounting, an
+// idle-eviction clock driven by the shard's event-time high-water
+// mark, and a batched inference path (core.Framework.AnalyzeBatch)
+// over the sessions a mailbox batch closes together. Drain flushes
+// every shard for graceful shutdown; Snapshot exposes per-shard
+// gauges for the Prometheus exposition.
+package engine
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vqoe/internal/core"
+	"vqoe/internal/weblog"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Shards is the worker count; subscribers are hash-partitioned
+	// across them. Default: GOMAXPROCS.
+	Shards int
+	// Mailbox is each shard's queue capacity, in messages. When a
+	// mailbox is full, Ingest and Feed block (backpressure) while
+	// Offer drops and counts. Default 256.
+	Mailbox int
+	// IdleGapSec closes a session after this much subscriber silence
+	// (the §5.2 idle-gap boundary). Default 30.
+	IdleGapSec float64
+	// MinChunks suppresses reports for fragments with fewer media
+	// chunks. Default 3.
+	MinChunks int
+	// EvictSlackSec lags the auto-eviction horizon behind the shard's
+	// event-time high-water mark, tolerating that much cross-feeder
+	// clock skew before an idle session is closed early. Default:
+	// IdleGapSec.
+	EvictSlackSec float64
+	// SweepEverySec runs a shard's eviction sweep whenever its
+	// high-water mark has advanced this much since the last sweep.
+	// Negative disables auto-eviction (sessions then close only on
+	// boundaries, explicit Advance, or Drain). Default: IdleGapSec/2.
+	SweepEverySec float64
+}
+
+// DefaultConfig mirrors the serial pipeline's session parameters.
+func DefaultConfig() Config {
+	return Config{
+		Shards:        runtime.GOMAXPROCS(0),
+		Mailbox:       256,
+		IdleGapSec:    30,
+		MinChunks:     3,
+		EvictSlackSec: 30,
+		SweepEverySec: 15,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 256
+	}
+	if c.IdleGapSec <= 0 {
+		c.IdleGapSec = 30
+	}
+	if c.MinChunks <= 0 {
+		c.MinChunks = 3
+	}
+	if c.EvictSlackSec <= 0 {
+		c.EvictSlackSec = c.IdleGapSec
+	}
+	if c.SweepEverySec == 0 {
+		c.SweepEverySec = c.IdleGapSec / 2
+	}
+	return c
+}
+
+// Report is an emitted assessment of one finished session.
+type Report struct {
+	Subscriber string
+	Start, End float64
+	Report     core.Report
+}
+
+// Engine is the sharded live-session engine. All methods are safe for
+// concurrent use; per-subscriber event order must be preserved by the
+// caller (any one subscriber's entries must arrive through one path in
+// timestamp order, which Live.Feed and Ingest both guarantee).
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts the engine's shard workers. Reports produced without a
+// waiting caller — by Feed, Offer, or auto-eviction on those paths —
+// are delivered to sink, which must be safe for concurrent use; a nil
+// sink discards them (per-shard counters still record them).
+func New(fw *core.Framework, cfg Config, sink func(Report)) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		e.shards[i] = newShard(i, fw, cfg, sink)
+		e.wg.Add(1)
+		go e.shards[i].run(&e.wg)
+	}
+	return e
+}
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+func (e *Engine) shardOf(subscriber string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(subscriber))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// split partitions entries by shard, preserving arrival order.
+func (e *Engine) split(entries []weblog.Entry) [][]weblog.Entry {
+	per := make([][]weblog.Entry, len(e.shards))
+	for _, en := range entries {
+		h := fnv.New32a()
+		h.Write([]byte(en.Subscriber))
+		i := h.Sum32() % uint32(len(e.shards))
+		per[i] = append(per[i], en)
+	}
+	return per
+}
+
+// Ingest processes a batch synchronously and returns the reports for
+// every session the batch completed (including sessions the batch's
+// eviction sweeps closed), ordered by session start time. It blocks
+// when mailboxes are full — the request/response backpressure path
+// used by the HTTP server's /ingest.
+func (e *Engine) Ingest(entries []weblog.Entry) []Report {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed || len(entries) == 0 {
+		return nil
+	}
+	per := e.split(entries)
+	replies := make([]chan []Report, len(per))
+	for i, batch := range per {
+		if len(batch) == 0 {
+			continue
+		}
+		replies[i] = make(chan []Report, 1)
+		e.shards[i].mail <- message{entries: batch, reply: replies[i]}
+	}
+	var out []Report
+	for _, ch := range replies {
+		if ch != nil {
+			out = append(out, <-ch...)
+		}
+	}
+	sortReports(out)
+	return out
+}
+
+// Feed processes a batch asynchronously: entries are enqueued (blocking
+// when mailboxes are full) and completed sessions flow to the sink.
+// This is the load-generator / capture-loop path.
+func (e *Engine) Feed(entries []weblog.Entry) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	for i, batch := range e.split(entries) {
+		if len(batch) > 0 {
+			e.shards[i].mail <- message{entries: batch}
+		}
+	}
+}
+
+// Offer is Feed without backpressure: when a shard's mailbox is full
+// its slice of the batch is dropped and counted (load shedding under
+// overload). Returns how many entries were accepted.
+func (e *Engine) Offer(entries []weblog.Entry) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0
+	}
+	accepted := 0
+	for i, batch := range e.split(entries) {
+		if len(batch) == 0 {
+			continue
+		}
+		select {
+		case e.shards[i].mail <- message{entries: batch}:
+			accepted += len(batch)
+		default:
+			e.shards[i].dropped.Add(int64(len(batch)))
+		}
+	}
+	return accepted
+}
+
+// Advance closes every session idle at the given capture-clock time on
+// all shards and returns their reports ordered by start time.
+func (e *Engine) Advance(now float64) []Report {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil
+	}
+	replies := make([]chan []Report, len(e.shards))
+	for i, s := range e.shards {
+		replies[i] = make(chan []Report, 1)
+		s.mail <- message{advance: now, reply: replies[i]}
+	}
+	var out []Report
+	for _, ch := range replies {
+		out = append(out, <-ch...)
+	}
+	sortReports(out)
+	return out
+}
+
+// Drain gracefully shuts the engine down: every shard flushes its
+// remaining open sessions (end of capture), workers exit, and the
+// final reports are returned ordered by start time. Further calls are
+// no-ops returning nil.
+func (e *Engine) Drain() []Report {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	replies := make([]chan []Report, len(e.shards))
+	for i, s := range e.shards {
+		replies[i] = make(chan []Report, 1)
+		s.mail <- message{flush: true, reply: replies[i]}
+	}
+	var out []Report
+	for _, ch := range replies {
+		out = append(out, <-ch...)
+	}
+	for _, s := range e.shards {
+		close(s.mail)
+	}
+	e.wg.Wait()
+	sortReports(out)
+	return out
+}
+
+// ShardStats is one shard's operational snapshot.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Open is the number of sessions currently tracked.
+	Open int
+	// Mailbox is the current queue depth, in messages.
+	Mailbox int
+	// Events counts entries processed.
+	Events int64
+	// Dropped counts entries shed by Offer on a full mailbox.
+	Dropped int64
+	// Reports counts sessions assessed and emitted.
+	Reports int64
+	// Evicted counts sessions closed by the idle clock rather than an
+	// explicit §5.2 boundary entry.
+	Evicted int64
+}
+
+// Snapshot reads every shard's counters and gauges. Safe to call at
+// any time, including after Drain.
+func (e *Engine) Snapshot() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStats{
+			Shard:   i,
+			Open:    int(s.open.Load()),
+			Mailbox: len(s.mail),
+			Events:  s.events.Load(),
+			Dropped: s.dropped.Load(),
+			Reports: s.reports.Load(),
+			Evicted: s.evicted.Load(),
+		}
+	}
+	return out
+}
+
+func sortReports(rs []Report) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Start != rs[j].Start {
+			return rs[i].Start < rs[j].Start
+		}
+		return rs[i].Subscriber < rs[j].Subscriber
+	})
+}

@@ -1,0 +1,249 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vqoe/internal/core"
+	"vqoe/internal/engine"
+	"vqoe/internal/pipeline"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+var (
+	fixOnce sync.Once
+	fixFW   *core.Framework
+	fixLive *workload.Live
+)
+
+func fixtures(t *testing.T) (*core.Framework, *workload.Live) {
+	t.Helper()
+	fixOnce.Do(func() {
+		clearCfg := workload.DefaultConfig(400)
+		clearCfg.Seed = 71
+		hasCfg := workload.DefaultConfig(200)
+		hasCfg.AdaptiveFraction = 1
+		hasCfg.Seed = 72
+		tcfg := core.DefaultTrainConfig()
+		tcfg.CVFolds = 3
+		tcfg.Forest.Trees = 10
+		var err error
+		fixFW, _, err = core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+		if err != nil {
+			panic(err)
+		}
+		lcfg := workload.DefaultLiveConfig()
+		lcfg.Subscribers = 16
+		lcfg.SessionsPerSubscriber = 2
+		lcfg.Seed = 73
+		fixLive = workload.GenerateLive(lcfg)
+	})
+	return fixFW, fixLive
+}
+
+// key identifies a report strictly enough that agreement means the
+// session boundaries and every model output matched.
+func key(sub string, start, end float64, r core.Report) string {
+	return fmt.Sprintf("%s|%.3f|%.3f|%d|%d|%d|%v", sub, start, end, r.Chunks, r.Stall, r.Representation, r.SwitchVariance)
+}
+
+// serialReports runs the same stream through the serial pipeline.
+func serialReports(fw *core.Framework, entries []weblog.Entry) map[string]int {
+	a := pipeline.New(fw, pipeline.DefaultConfig())
+	out := map[string]int{}
+	add := func(rs []pipeline.SessionReport) {
+		for _, r := range rs {
+			out[key(r.Subscriber, r.Start, r.End, r.Report)]++
+		}
+	}
+	for _, e := range entries {
+		add(a.Push(e))
+	}
+	add(a.Flush())
+	return out
+}
+
+func TestEngineMatchesSerialPipeline(t *testing.T) {
+	fw, live := fixtures(t)
+	want := serialReports(fw, live.Entries)
+
+	for _, shards := range []int{1, 4} {
+		cfg := engine.DefaultConfig()
+		cfg.Shards = shards
+		eng := engine.New(fw, cfg, nil)
+		var got []engine.Report
+		// feed the sorted stream in moderate synchronous batches, as
+		// the capture loop would
+		for lo := 0; lo < len(live.Entries); lo += 500 {
+			hi := lo + 500
+			if hi > len(live.Entries) {
+				hi = len(live.Entries)
+			}
+			got = append(got, eng.Ingest(live.Entries[lo:hi])...)
+		}
+		got = append(got, eng.Drain()...)
+
+		if len(got) != sum(want) {
+			t.Errorf("shards=%d: engine emitted %d reports, serial %d", shards, len(got), sum(want))
+		}
+		matched := 0
+		seen := map[string]int{}
+		for _, r := range got {
+			seen[key(r.Subscriber, r.Start, r.End, r.Report)]++
+		}
+		for k, n := range seen {
+			if want[k] >= n {
+				matched += n
+			} else {
+				matched += want[k]
+			}
+		}
+		if total := sum(want); matched*100 < total*95 {
+			t.Errorf("shards=%d: only %d/%d reports identical to the serial pipeline", shards, matched, total)
+		}
+	}
+}
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func TestEngineConcurrentFeeders(t *testing.T) {
+	fw, live := fixtures(t)
+	want := serialReports(fw, live.Entries)
+
+	cfg := engine.DefaultConfig()
+	cfg.Shards = 4
+	var mu sync.Mutex
+	var got []engine.Report
+	eng := engine.New(fw, cfg, func(r engine.Report) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	live.Feed(4, 128, eng.Feed)
+	got = append(got, eng.Drain()...)
+
+	if len(got) != sum(want) {
+		t.Errorf("concurrent feeders emitted %d reports, serial %d", len(got), sum(want))
+	}
+	var events int64
+	for _, s := range eng.Snapshot() {
+		events += s.Events
+		if s.Dropped != 0 {
+			t.Errorf("shard %d dropped %d entries on the blocking path", s.Shard, s.Dropped)
+		}
+	}
+	if events != int64(len(live.Entries)) {
+		t.Errorf("shards processed %d events, fed %d", events, len(live.Entries))
+	}
+}
+
+func TestEngineOfferShedsUnderOverload(t *testing.T) {
+	fw, live := fixtures(t)
+	cfg := engine.DefaultConfig()
+	cfg.Shards = 1
+	cfg.Mailbox = 1
+	eng := engine.New(fw, cfg, nil)
+	defer eng.Drain()
+
+	accepted := 0
+	for lo := 0; lo+50 <= len(live.Entries); lo += 50 {
+		accepted += eng.Offer(live.Entries[lo : lo+50])
+	}
+	var dropped int64
+	for _, s := range eng.Snapshot() {
+		dropped += s.Dropped
+	}
+	if accepted == 0 {
+		t.Error("offer accepted nothing")
+	}
+	if dropped == 0 {
+		t.Error("a 1-deep mailbox under burst load should shed entries")
+	}
+}
+
+func TestEngineAdvanceAndSnapshot(t *testing.T) {
+	fw, live := fixtures(t)
+	cfg := engine.DefaultConfig()
+	cfg.Shards = 2
+	cfg.SweepEverySec = -1 // manual clock only
+	eng := engine.New(fw, cfg, nil)
+
+	one := live.PerSubscriber[0]
+	if rep := eng.Ingest(one); len(rep) == 0 && len(one) == 0 {
+		t.Skip("empty subscriber stream")
+	}
+	snap := eng.Snapshot()
+	openBefore := 0
+	for _, s := range snap {
+		openBefore += s.Open
+	}
+	if openBefore == 0 {
+		t.Fatal("no session open after ingest")
+	}
+	if got := eng.Advance(1e12); len(got) == 0 {
+		t.Error("advance past the idle gap emitted nothing")
+	}
+	for _, s := range eng.Snapshot() {
+		if s.Open != 0 {
+			t.Errorf("shard %d still tracks %d sessions after advance", s.Shard, s.Open)
+		}
+	}
+	if rest := eng.Drain(); len(rest) != 0 {
+		t.Errorf("drain after advance returned %d reports", len(rest))
+	}
+	// closed engine: every entry point is a no-op
+	if eng.Ingest(one) != nil || eng.Offer(one) != 0 || eng.Drain() != nil {
+		t.Error("closed engine should reject work")
+	}
+	eng.Feed(one) // must not panic
+}
+
+func TestEngineAutoEviction(t *testing.T) {
+	fw, _ := fixtures(t)
+	cfg := engine.DefaultConfig()
+	cfg.Shards = 1
+	eng := engine.New(fw, cfg, nil)
+	defer eng.Drain()
+
+	// one subscriber goes quiet; another keeps the clock moving far
+	// past the idle gap + slack
+	quiet := []weblog.Entry{}
+	for i := 0; i < 5; i++ {
+		quiet = append(quiet, weblog.Entry{
+			Timestamp: float64(i), Subscriber: "quiet",
+			Host: "r1---sn-aaaa.googlevideo.com", Bytes: 500_000, TransactionSec: 0.4,
+		})
+	}
+	eng.Ingest(quiet)
+	var rep []engine.Report
+	for tick := 0; tick < 40; tick++ {
+		rep = append(rep, eng.Ingest([]weblog.Entry{{
+			Timestamp: 10 + float64(tick)*5, Subscriber: "chatty",
+			Host: "r2---sn-bbbb.googlevideo.com", Bytes: 500_000, TransactionSec: 0.4,
+		}})...)
+	}
+	found := false
+	for _, r := range rep {
+		if r.Subscriber == "quiet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("idle clock never evicted the quiet subscriber's session")
+	}
+	var evicted int64
+	for _, s := range eng.Snapshot() {
+		evicted += s.Evicted
+	}
+	if evicted == 0 {
+		t.Error("eviction counter not incremented")
+	}
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/sessionizer"
+	"vqoe/internal/weblog"
+)
+
+// message is one unit of shard work. Exactly one variant is meaningful
+// per message; reply, when non-nil, receives the reports the message
+// produced (otherwise they go to the sink).
+type message struct {
+	entries []weblog.Entry
+	advance float64 // >0: eviction sweep at this capture-clock time
+	flush   bool    // close everything (drain)
+	reply   chan []Report
+}
+
+// shard owns one slice of the flow table. Its state is touched only by
+// its worker goroutine — the hot path takes no locks — except the
+// atomic counters, which Snapshot reads from outside.
+type shard struct {
+	id      int
+	mail    chan message
+	fw      *core.Framework
+	tracker *sessionizer.Tracker
+	sink    func(Report)
+
+	minChunks  int
+	evictSlack float64
+	sweepEvery float64
+
+	// worker-goroutine state
+	highWater float64
+	lastSweep float64
+
+	// counters/gauges read by Snapshot
+	open    atomic.Int64
+	events  atomic.Int64
+	dropped atomic.Int64
+	reports atomic.Int64
+	evicted atomic.Int64
+}
+
+func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard {
+	return &shard{
+		id:   id,
+		mail: make(chan message, cfg.Mailbox),
+		fw:   fw,
+		tracker: sessionizer.NewTracker(sessionizer.Config{
+			IdleGap:      cfg.IdleGapSec,
+			PageBoundary: true,
+		}),
+		sink:       sink,
+		minChunks:  cfg.MinChunks,
+		evictSlack: cfg.EvictSlackSec,
+		sweepEvery: cfg.SweepEverySec,
+		lastSweep:  -1e18,
+	}
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range s.mail {
+		var closed []sessionizer.Closed
+		for _, e := range msg.entries {
+			s.events.Add(1)
+			if c, ok := s.tracker.Push(e); ok {
+				closed = append(closed, c)
+			}
+			if e.Timestamp > s.highWater {
+				s.highWater = e.Timestamp
+			}
+		}
+		// idle-eviction clock: sweep when event time has advanced
+		// enough, lagging the horizon by the configured slack so
+		// bounded cross-feeder skew cannot close a live session early.
+		if s.sweepEvery >= 0 && s.highWater-s.lastSweep >= s.sweepEvery {
+			ev := s.tracker.Advance(s.highWater - s.evictSlack)
+			s.evicted.Add(int64(len(ev)))
+			closed = append(closed, ev...)
+			s.lastSweep = s.highWater
+		}
+		if msg.advance > 0 {
+			ev := s.tracker.Advance(msg.advance)
+			s.evicted.Add(int64(len(ev)))
+			closed = append(closed, ev...)
+			if msg.advance > s.highWater {
+				s.highWater = msg.advance
+			}
+		}
+		if msg.flush {
+			closed = append(closed, s.tracker.Flush()...)
+		}
+		s.open.Store(int64(s.tracker.Open()))
+
+		out := s.assess(closed)
+		s.reports.Add(int64(len(out)))
+		if msg.reply != nil {
+			msg.reply <- out
+		} else if s.sink != nil {
+			for _, r := range out {
+				s.sink(r)
+			}
+		}
+	}
+}
+
+// assess turns the sessions a message closed into reports via one
+// batched forest pass, suppressing signalling-only fragments.
+func (s *shard) assess(closed []sessionizer.Closed) []Report {
+	if len(closed) == 0 {
+		return nil
+	}
+	obs := make([]features.SessionObs, 0, len(closed))
+	kept := make([]sessionizer.Closed, 0, len(closed))
+	for _, c := range closed {
+		o := features.FromEntries(c.Entries)
+		if o.Len() < s.minChunks {
+			continue
+		}
+		obs = append(obs, o)
+		kept = append(kept, c)
+	}
+	reps := s.fw.AnalyzeBatch(obs)
+	out := make([]Report, len(reps))
+	for i, r := range reps {
+		out[i] = Report{
+			Subscriber: kept[i].Subscriber,
+			Start:      kept[i].Start,
+			End:        kept[i].End,
+			Report:     r,
+		}
+	}
+	return out
+}

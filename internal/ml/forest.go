@@ -130,6 +130,33 @@ func (f *Forest) Proba(x []float64) []float64 {
 	return dist
 }
 
+// PredictBatch classifies a batch of instances in tree-major order:
+// every tree is walked over the full batch before moving to the next,
+// so a tree's nodes stay hot in cache across the batch instead of the
+// whole ensemble being re-faulted per instance. This is the inference
+// entry point for the live engine, which accumulates finished sessions
+// and classifies them together.
+func (f *Forest) PredictBatch(xs [][]float64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	nc := f.numClasses
+	dist := make([]float64, len(xs)*nc)
+	for _, t := range f.Trees {
+		for i, x := range xs {
+			row := dist[i*nc : (i+1)*nc]
+			for c, p := range t.Proba(x) {
+				row[c] += p
+			}
+		}
+	}
+	out := make([]int, len(xs))
+	for i := range out {
+		out[i] = argmax(dist[i*nc : (i+1)*nc])
+	}
+	return out
+}
+
 // PredictAll classifies every instance of ds and returns the
 // predictions in row order.
 func (f *Forest) PredictAll(ds *Dataset) []int {

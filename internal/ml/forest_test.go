@@ -112,3 +112,21 @@ func TestForestDefaultsApplied(t *testing.T) {
 		t.Errorf("FeaturesPerSplit = %d, want 9", cfg.FeaturesPerSplit)
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	ds := noisyThreeClass(600, 4)
+	f := TrainForest(ds, ForestConfig{Trees: 15, Seed: 5})
+	probe := noisyThreeClass(200, 6)
+	batch := f.PredictBatch(probe.X)
+	if len(batch) != probe.Len() {
+		t.Fatalf("batch returned %d predictions for %d instances", len(batch), probe.Len())
+	}
+	for i, x := range probe.X {
+		if want := f.Predict(x); batch[i] != want {
+			t.Fatalf("instance %d: batch %d vs single %d", i, batch[i], want)
+		}
+	}
+	if got := f.PredictBatch(nil); got != nil {
+		t.Error("empty batch should predict nothing")
+	}
+}

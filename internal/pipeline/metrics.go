@@ -6,18 +6,25 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"vqoe/internal/engine"
 	"vqoe/internal/features"
 )
 
 // Metrics aggregates the pipeline's output for operational monitoring.
 // It renders in the Prometheus text exposition format so an operator's
 // existing scrape infrastructure can watch the QoE monitor itself.
-// Safe for concurrent use.
+// Safe for concurrent use: the entry counter is a bare atomic (it is
+// the per-event hot path, hit by every engine shard), while the
+// session-level aggregates — including the P² quantile estimators,
+// which are not themselves thread-safe — are serialized behind the
+// mutex.
 type Metrics struct {
+	entriesTotal atomic.Int64
+
 	mu sync.Mutex
 
-	entriesTotal  int64
 	sessionsTotal int64
 	stallCounts   [3]int64
 	repCounts     [3]int64
@@ -28,6 +35,10 @@ type Metrics struct {
 	chunkP50 *streamQ
 	chunkP90 *streamQ
 	scoreP90 *streamQ
+
+	// engineStats, when attached, supplies per-shard gauges for the
+	// exposition (typically Engine.Snapshot).
+	engineStats func() []engine.ShardStats
 }
 
 // streamQ is declared in quantile.go as the P² bridge.
@@ -42,9 +53,16 @@ func NewMetrics() *Metrics {
 }
 
 // ObserveEntry counts a processed weblog entry.
-func (m *Metrics) ObserveEntry() {
+func (m *Metrics) ObserveEntry() { m.entriesTotal.Add(1) }
+
+// ObserveEntries counts a batch of processed weblog entries.
+func (m *Metrics) ObserveEntries(n int) { m.entriesTotal.Add(int64(n)) }
+
+// AttachEngine wires per-shard gauges into the exposition; fn is
+// usually (*engine.Engine).Snapshot. Pass nil to detach.
+func (m *Metrics) AttachEngine(fn func() []engine.ShardStats) {
 	m.mu.Lock()
-	m.entriesTotal++
+	m.engineStats = fn
 	m.mu.Unlock()
 }
 
@@ -77,7 +95,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		n += int64(k)
 		return err
 	}
-	if err := p("# HELP vqoe_entries_total Weblog entries processed.\n# TYPE vqoe_entries_total counter\nvqoe_entries_total %d\n", m.entriesTotal); err != nil {
+	if err := p("# HELP vqoe_entries_total Weblog entries processed.\n# TYPE vqoe_entries_total counter\nvqoe_entries_total %d\n", m.entriesTotal.Load()); err != nil {
 		return n, err
 	}
 	if err := p("# HELP vqoe_sessions_total Sessions assessed.\n# TYPE vqoe_sessions_total counter\nvqoe_sessions_total %d\n", m.sessionsTotal); err != nil {
@@ -104,7 +122,27 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		m.chunkP50.value(), m.chunkP90.value()); err != nil {
 		return n, err
 	}
-	return n, p("vqoe_switch_score{quantile=\"0.9\"} %g\n", m.scoreP90.value())
+	if err := p("vqoe_switch_score{quantile=\"0.9\"} %g\n", m.scoreP90.value()); err != nil {
+		return n, err
+	}
+	if m.engineStats != nil {
+		if err := p("# HELP vqoe_engine_shard_open_sessions Sessions tracked per shard.\n# TYPE vqoe_engine_shard_open_sessions gauge\n"); err != nil {
+			return n, err
+		}
+		for _, s := range m.engineStats() {
+			if err := p("vqoe_engine_shard_open_sessions{shard=\"%d\"} %d\n"+
+				"vqoe_engine_shard_mailbox_depth{shard=\"%d\"} %d\n"+
+				"vqoe_engine_shard_entries_total{shard=\"%d\"} %d\n"+
+				"vqoe_engine_shard_dropped_total{shard=\"%d\"} %d\n"+
+				"vqoe_engine_shard_reports_total{shard=\"%d\"} %d\n"+
+				"vqoe_engine_shard_evicted_total{shard=\"%d\"} %d\n",
+				s.Shard, s.Open, s.Shard, s.Mailbox, s.Shard, s.Events,
+				s.Shard, s.Dropped, s.Shard, s.Reports, s.Shard, s.Evicted); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
 }
 
 // Handler serves the metrics over HTTP (GET only).

@@ -8,10 +8,9 @@
 package pipeline
 
 import (
-	"sort"
-
 	"vqoe/internal/core"
 	"vqoe/internal/features"
+	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
 
@@ -36,20 +35,16 @@ type SessionReport struct {
 	Report     core.Report
 }
 
-// Analyzer is the streaming engine. Feed it entries in timestamp order
-// with Push; completed sessions come back from Push and Flush.
-// Analyzer is not safe for concurrent use; shard by subscriber for
-// parallel deployments.
+// Analyzer is the serial streaming engine. Feed it entries in
+// timestamp order with Push; completed sessions come back from Push
+// and Flush. Session boundaries come from the same incremental §5.2
+// flow table (sessionizer.Tracker) the sharded engine uses, so the
+// two paths split identically. Analyzer is not safe for concurrent
+// use; internal/engine is the sharded deployment form.
 type Analyzer struct {
 	fw  *core.Framework
 	cfg Config
-	// open sessions per subscriber
-	open map[string]*openSession
-}
-
-type openSession struct {
-	entries    []weblog.Entry
-	start, end float64
+	tr  *sessionizer.Tracker
 }
 
 // New creates an Analyzer emitting reports from the given framework.
@@ -60,11 +55,18 @@ func New(fw *core.Framework, cfg Config) *Analyzer {
 	if cfg.MinChunks <= 0 {
 		cfg.MinChunks = 3
 	}
-	return &Analyzer{fw: fw, cfg: cfg, open: map[string]*openSession{}}
+	return &Analyzer{
+		fw:  fw,
+		cfg: cfg,
+		tr: sessionizer.NewTracker(sessionizer.Config{
+			IdleGap:      cfg.IdleGapSec,
+			PageBoundary: true,
+		}),
+	}
 }
 
 // OpenSessions reports the number of sessions currently being tracked.
-func (a *Analyzer) OpenSessions() int { return len(a.open) }
+func (a *Analyzer) OpenSessions() int { return a.tr.Open() }
 
 // Push processes one weblog entry and returns any session reports that
 // became final because of it (a watch-page load or an idle gap closed
@@ -72,68 +74,49 @@ func (a *Analyzer) OpenSessions() int { return len(a.open) }
 // are ignored. Entries must arrive in non-decreasing timestamp order
 // per subscriber.
 func (a *Analyzer) Push(e weblog.Entry) []SessionReport {
-	if !e.IsServiceHost() {
+	c, ok := a.tr.Push(e)
+	if !ok {
 		return nil
 	}
-	var out []SessionReport
-	cur := a.open[e.Subscriber]
-	boundary := cur == nil ||
-		e.Timestamp-cur.end > a.cfg.IdleGapSec ||
-		e.Host == weblog.HostPage
-	if boundary {
-		if cur != nil {
-			if rep, ok := a.finish(e.Subscriber, cur); ok {
-				out = append(out, rep)
-			}
-		}
-		cur = &openSession{start: e.Timestamp}
-		a.open[e.Subscriber] = cur
+	if rep, ok := a.finish(c); ok {
+		return []SessionReport{rep}
 	}
-	cur.entries = append(cur.entries, e)
-	cur.end = e.Timestamp
-	return out
+	return nil
 }
 
 // Advance closes every session idle at the given clock time and
-// returns their reports. Call it periodically with the capture clock
-// so quiet subscribers' last sessions don't linger forever.
+// returns their reports ordered by start time. Call it periodically
+// with the capture clock so quiet subscribers' last sessions don't
+// linger forever.
 func (a *Analyzer) Advance(now float64) []SessionReport {
-	var out []SessionReport
-	for sub, s := range a.open {
-		if now-s.end > a.cfg.IdleGapSec {
-			if rep, ok := a.finish(sub, s); ok {
-				out = append(out, rep)
-			}
-			delete(a.open, sub)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	return a.finishAll(a.tr.Advance(now))
 }
 
 // Flush closes all open sessions regardless of idle state (end of
 // capture) and returns their reports ordered by start time.
 func (a *Analyzer) Flush() []SessionReport {
+	return a.finishAll(a.tr.Flush())
+}
+
+func (a *Analyzer) finishAll(closed []sessionizer.Closed) []SessionReport {
 	var out []SessionReport
-	for sub, s := range a.open {
-		if rep, ok := a.finish(sub, s); ok {
+	for _, c := range closed {
+		if rep, ok := a.finish(c); ok {
 			out = append(out, rep)
 		}
-		delete(a.open, sub)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 
-func (a *Analyzer) finish(sub string, s *openSession) (SessionReport, bool) {
-	obs := features.FromEntries(s.entries)
+func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
+	obs := features.FromEntries(c.Entries)
 	if obs.Len() < a.cfg.MinChunks {
 		return SessionReport{}, false
 	}
 	return SessionReport{
-		Subscriber: sub,
-		Start:      s.start,
-		End:        s.end,
+		Subscriber: c.Subscriber,
+		Start:      c.Start,
+		End:        c.End,
 		Report:     a.fw.Analyze(obs),
 	}, true
 }

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
 
 	"vqoe/internal/core"
+	"vqoe/internal/engine"
 	"vqoe/internal/features"
 	"vqoe/internal/mos"
 	"vqoe/internal/weblog"
@@ -17,33 +17,66 @@ import (
 //
 //	POST /analyze  — body: weblog entries as JSONL (one session's
 //	                 traffic); response: the QoE assessment as JSON.
-//	POST /ingest   — body: JSONL entries appended to the streaming
-//	                 analyzer; response: reports for any sessions the
+//	POST /ingest   — body: JSONL entries appended to the live
+//	                 engine; response: reports for any sessions the
 //	                 new entries completed.
-//	GET  /metrics  — Prometheus exposition of everything assessed.
+//	GET  /metrics  — Prometheus exposition of everything assessed,
+//	                 including per-shard engine gauges.
 //	GET  /healthz  — liveness.
 //
-// Server is safe for concurrent use; the streaming analyzer behind
-// /ingest is serialized internally.
+// Server is safe for concurrent use. /ingest routes through the
+// sharded live-session engine, so concurrent requests for different
+// subscribers proceed in parallel; /analyze stays on the serial
+// single-session path (the request carries one complete session, so
+// there is no flow state to shard). Call Drain before shutdown to
+// flush sessions still open in the engine.
 type Server struct {
 	fw      *core.Framework
 	metrics *Metrics
-
-	mu sync.Mutex
-	an *Analyzer
+	eng     *engine.Engine
 }
 
-// NewServer wraps a trained framework.
+// NewServer wraps a trained framework with the default engine layout
+// (one shard per CPU).
 func NewServer(fw *core.Framework) *Server {
-	return &Server{
-		fw:      fw,
-		metrics: NewMetrics(),
-		an:      New(fw, DefaultConfig()),
-	}
+	return NewServerWith(fw, engine.DefaultConfig())
+}
+
+// NewServerWith wraps a trained framework, tuning the live engine
+// behind /ingest.
+func NewServerWith(fw *core.Framework, ecfg engine.Config) *Server {
+	s := &Server{fw: fw, metrics: NewMetrics()}
+	// sink: reports produced outside a request (none today, but a
+	// capture-loop Feed caller shares this engine) still hit metrics
+	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
+		s.metrics.ObserveReport(fromEngine(r))
+	})
+	s.metrics.AttachEngine(s.eng.Snapshot)
+	return s
 }
 
 // Metrics exposes the collector (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Engine exposes the live engine behind /ingest (for embedding and
+// capture loops that Feed it directly).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Drain flushes the engine's open sessions for graceful shutdown and
+// returns their final reports (also recorded in the metrics).
+func (s *Server) Drain() []SessionReport {
+	var out []SessionReport
+	for _, r := range s.eng.Drain() {
+		rep := fromEngine(r)
+		s.metrics.ObserveReport(rep)
+		out = append(out, rep)
+	}
+	return out
+}
+
+func fromEngine(r engine.Report) SessionReport {
+	return SessionReport{Subscriber: r.Subscriber, Start: r.Start, End: r.End, Report: r.Report}
+}
 
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
@@ -126,20 +159,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := IngestResponse{Accepted: len(entries), Reports: []IngestReport{}}
-	s.mu.Lock()
-	for _, e := range entries {
-		s.metrics.ObserveEntry()
-		for _, rep := range s.an.Push(e) {
-			s.metrics.ObserveReport(rep)
-			resp.Reports = append(resp.Reports, IngestReport{
-				Subscriber: rep.Subscriber,
-				Start:      rep.Start,
-				End:        rep.End,
-				Assessment: toResponse(rep.Report),
-			})
-		}
+	s.metrics.ObserveEntries(len(entries))
+	for _, r := range s.eng.Ingest(entries) {
+		rep := fromEngine(r)
+		s.metrics.ObserveReport(rep)
+		resp.Reports = append(resp.Reports, IngestReport{
+			Subscriber: rep.Subscriber,
+			Start:      rep.Start,
+			End:        rep.End,
+			Assessment: toResponse(rep.Report),
+		})
 	}
-	s.mu.Unlock()
 	writeJSON(w, resp)
 }
 

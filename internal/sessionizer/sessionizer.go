@@ -52,6 +52,17 @@ func (s Session) MediaIndices(entries []weblog.Entry) []int {
 	return out
 }
 
+// boundary decides whether a service entry starts a new session given
+// the time of the subscriber's previous service entry (§5.2 steps 2
+// and 3). It is the single splitting rule shared by the batch Group
+// path and the incremental Tracker path, so both reconstruct the same
+// sessions from the same trace.
+func boundary(cfg Config, open bool, lastT float64, e weblog.Entry) bool {
+	return !open ||
+		e.Timestamp-lastT > cfg.IdleGap ||
+		(cfg.PageBoundary && e.Host == weblog.HostPage)
+}
+
 // Group reconstructs sessions from a single subscriber's weblog
 // entries. Entries to non-service domains are discarded (step 1);
 // the remaining ones are split at watch-page loads (step 2) and idle
@@ -82,10 +93,7 @@ func Group(entries []weblog.Entry, cfg Config) []Session {
 	}
 	for _, i := range idx {
 		e := entries[i]
-		boundary := cur == nil ||
-			e.Timestamp-lastT > cfg.IdleGap ||
-			(cfg.PageBoundary && e.Host == weblog.HostPage)
-		if boundary {
+		if boundary(cfg, cur != nil, lastT, e) {
 			flush()
 			cur = &Session{Start: e.Timestamp}
 		}
@@ -95,6 +103,117 @@ func Group(entries []weblog.Entry, cfg Config) []Session {
 	}
 	flush()
 	return sessions
+}
+
+// Closed is one finished session emitted by the incremental Tracker:
+// the entries it grouped, in arrival order.
+type Closed struct {
+	Subscriber string
+	Entries    []weblog.Entry
+	Start, End float64
+}
+
+// Tracker reconstructs sessions incrementally, one entry at a time,
+// across many subscribers at once — the flow-table form of the §5.2
+// heuristics a live monitor needs, where re-sorting whole traces per
+// decision is impossible. The splitting rule is byte-identical to
+// Group's: the same trace pushed through a Tracker yields the same
+// session boundaries as the batch path.
+//
+// Tracker is not safe for concurrent use; shard by subscriber for
+// parallel deployments (see internal/engine).
+type Tracker struct {
+	cfg  Config
+	open map[string]*openFlow
+}
+
+type openFlow struct {
+	entries    []weblog.Entry
+	start, end float64
+}
+
+// NewTracker returns an empty flow table with the given splitting
+// parameters.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.IdleGap <= 0 {
+		cfg.IdleGap = 30
+	}
+	return &Tracker{cfg: cfg, open: map[string]*openFlow{}}
+}
+
+// Open reports how many sessions are currently being tracked.
+func (t *Tracker) Open() int { return len(t.open) }
+
+// Push feeds one entry. Entries for non-service hosts are ignored;
+// entries must arrive in non-decreasing timestamp order per
+// subscriber. If the entry closes the subscriber's previous session
+// (page-load or idle-gap boundary), that session is returned.
+func (t *Tracker) Push(e weblog.Entry) (Closed, bool) {
+	if !e.IsServiceHost() {
+		return Closed{}, false
+	}
+	var out Closed
+	var closed bool
+	cur := t.open[e.Subscriber]
+	if boundary(t.cfg, cur != nil, lastEnd(cur), e) {
+		if cur != nil {
+			out = Closed{
+				Subscriber: e.Subscriber,
+				Entries:    cur.entries,
+				Start:      cur.start,
+				End:        cur.end,
+			}
+			closed = true
+		}
+		cur = &openFlow{start: e.Timestamp}
+		t.open[e.Subscriber] = cur
+	}
+	cur.entries = append(cur.entries, e)
+	cur.end = e.Timestamp
+	return out, closed
+}
+
+func lastEnd(f *openFlow) float64 {
+	if f == nil {
+		return 0
+	}
+	return f.end
+}
+
+// Advance closes every session idle at the given clock time and
+// returns them ordered by start time. Call it periodically with the
+// capture clock so quiet subscribers' last sessions don't linger.
+func (t *Tracker) Advance(now float64) []Closed {
+	var out []Closed
+	for sub, f := range t.open {
+		if now-f.end > t.cfg.IdleGap {
+			out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end})
+			delete(t.open, sub)
+		}
+	}
+	sortClosed(out)
+	return out
+}
+
+// Flush closes all open sessions regardless of idle state (end of
+// capture) and returns them ordered by start time.
+func (t *Tracker) Flush() []Closed {
+	out := make([]Closed, 0, len(t.open))
+	for sub, f := range t.open {
+		out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end})
+		delete(t.open, sub)
+	}
+	sortClosed(out)
+	return out
+}
+
+func sortClosed(cs []Closed) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Start != cs[j].Start {
+			return cs[i].Start < cs[j].Start
+		}
+		return cs[i].Subscriber < cs[j].Subscriber
+	})
 }
 
 // Evaluation summarizes how well reconstructed sessions match the

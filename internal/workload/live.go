@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vqoe/internal/netsim"
+	"vqoe/internal/player"
+	"vqoe/internal/stats"
+	"vqoe/internal/video"
+	"vqoe/internal/weblog"
+)
+
+// LiveConfig parameterizes the concurrent load-generator workload: a
+// population of subscribers streaming simultaneously, each producing a
+// sequence of encrypted video sessions separated by think-time gaps.
+// This is the traffic shape a deployed monitor sees — many interleaved
+// per-subscriber event streams — rather than the one-subscriber replay
+// of the §5 study.
+type LiveConfig struct {
+	// Subscribers is the concurrent population size.
+	Subscribers int
+	// SessionsPerSubscriber is how many videos each subscriber watches.
+	SessionsPerSubscriber int
+	// MeanGapSec is the mean think time between a subscriber's
+	// consecutive sessions (exponential).
+	MeanGapSec float64
+	// StartSpreadSec staggers subscriber arrival over this window so
+	// the population does not start in lockstep.
+	StartSpreadSec float64
+	// CatalogSize bounds the shared content pool.
+	CatalogSize int
+	// Seed fixes the workload.
+	Seed int64
+}
+
+// DefaultLiveConfig returns a small but genuinely concurrent
+// population; scale Subscribers up for load tests.
+func DefaultLiveConfig() LiveConfig {
+	return LiveConfig{
+		Subscribers:           64,
+		SessionsPerSubscriber: 3,
+		MeanGapSec:            120,
+		StartSpreadSec:        300,
+		CatalogSize:           200,
+		Seed:                  1,
+	}
+}
+
+// Live is a generated multi-subscriber event stream.
+type Live struct {
+	// Entries is the full population's weblog, globally time-ordered —
+	// what a single capture point would emit.
+	Entries []weblog.Entry
+	// PerSubscriber holds each subscriber's own time-ordered stream.
+	PerSubscriber [][]weblog.Entry
+	// Sessions is the number of true sessions generated.
+	Sessions int
+}
+
+// GenerateLive builds the concurrent workload. Subscribers are
+// generated in parallel but the result is deterministic for a seed.
+func GenerateLive(cfg LiveConfig) *Live {
+	if cfg.Subscribers <= 0 {
+		return &Live{}
+	}
+	if cfg.SessionsPerSubscriber <= 0 {
+		cfg.SessionsPerSubscriber = 1
+	}
+	if cfg.MeanGapSec <= 0 {
+		cfg.MeanGapSec = 120
+	}
+	if cfg.CatalogSize <= 0 {
+		cfg.CatalogSize = 200
+	}
+	master := stats.NewRand(cfg.Seed)
+	catalog := video.NewCatalog(cfg.CatalogSize, master)
+	seeds := make([]int64, cfg.Subscribers)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	l := &Live{PerSubscriber: make([][]weblog.Entry, cfg.Subscribers)}
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				l.PerSubscriber[i] = liveSubscriber(cfg, catalog, seeds[i], i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Subscribers; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	l.Sessions = cfg.Subscribers * cfg.SessionsPerSubscriber
+	for _, es := range l.PerSubscriber {
+		l.Entries = append(l.Entries, es...)
+	}
+	sort.SliceStable(l.Entries, func(i, j int) bool {
+		return l.Entries[i].Timestamp < l.Entries[j].Timestamp
+	})
+	return l
+}
+
+// liveSubscriber renders one subscriber's session sequence.
+func liveSubscriber(cfg LiveConfig, catalog *video.Catalog, seed int64, idx int) []weblog.Entry {
+	r := stats.NewRand(seed)
+	sub := fmt.Sprintf("live%05d", idx)
+	offset := r.Float64() * cfg.StartSpreadSec
+	var out []weblog.Entry
+	for k := 0; k < cfg.SessionsPerSubscriber; k++ {
+		v := catalog.Videos[r.Intn(len(catalog.Videos))]
+		_, prof := profileByIndex(r.WeightedChoice([]float64{0.6, 0.3, 0.1}))
+		net := netsim.NewPath(prof, r.Fork())
+		pcfg := player.DefaultConfig(player.Adaptive)
+		pcfg.MaxQuality = video.Ladder[r.WeightedChoice([]float64{0.05, 0.2, 0.3, 0.32, 0.09, 0.04})]
+		if r.Float64() < 0.25 {
+			pcfg.WatchFraction = 0.3 + 0.7*r.Float64()
+		}
+		tr := player.Run(v, net, pcfg, r.Fork())
+		out = append(out, weblog.FromTrace(tr, weblog.Options{
+			Subscriber: sub,
+			Encrypted:  true,
+			TimeOffset: offset,
+		})...)
+		offset += tr.Duration + r.Exp(cfg.MeanGapSec) + 20
+	}
+	return out
+}
+
+// Partition splits the global stream into n time-ordered sub-streams
+// by subscriber hash. Each partition preserves both global time order
+// and per-subscriber entry order, so n concurrent feeders can drive an
+// ingest path without reordering any subscriber's events.
+func (l *Live) Partition(n int) [][]weblog.Entry {
+	if n <= 1 {
+		return [][]weblog.Entry{l.Entries}
+	}
+	out := make([][]weblog.Entry, n)
+	for _, e := range l.Entries {
+		h := fnv.New32a()
+		h.Write([]byte(e.Subscriber))
+		p := int(h.Sum32() % uint32(n))
+		out[p] = append(out[p], e)
+	}
+	return out
+}
+
+// Feed drives fn from n goroutines, each pushing successive batches of
+// at most batchSize entries from its own partition — the concurrent
+// load-generator mode. fn must be safe for concurrent use (the
+// engine's ingest paths are). Feed returns once every entry has been
+// delivered.
+func (l *Live) Feed(n, batchSize int, fn func([]weblog.Entry)) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	parts := l.Partition(n)
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(part []weblog.Entry) {
+			defer wg.Done()
+			for lo := 0; lo < len(part); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(part) {
+					hi = len(part)
+				}
+				fn(part[lo:hi])
+			}
+		}(part)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"vqoe/internal/weblog"
+)
+
+func smallLive(t *testing.T) *Live {
+	t.Helper()
+	cfg := DefaultLiveConfig()
+	cfg.Subscribers = 8
+	cfg.SessionsPerSubscriber = 2
+	cfg.Seed = 7
+	return GenerateLive(cfg)
+}
+
+func TestGenerateLiveShape(t *testing.T) {
+	l := smallLive(t)
+	if l.Sessions != 16 {
+		t.Errorf("sessions = %d", l.Sessions)
+	}
+	if len(l.PerSubscriber) != 8 {
+		t.Fatalf("subscriber streams = %d", len(l.PerSubscriber))
+	}
+	subs := map[string]bool{}
+	total := 0
+	for _, es := range l.PerSubscriber {
+		if len(es) == 0 {
+			t.Fatal("empty subscriber stream")
+		}
+		total += len(es)
+		prev := -1.0
+		for _, e := range es {
+			subs[e.Subscriber] = true
+			if e.Timestamp < prev {
+				t.Fatal("per-subscriber stream not time-ordered")
+			}
+			prev = e.Timestamp
+		}
+	}
+	if len(subs) != 8 {
+		t.Errorf("distinct subscribers = %d", len(subs))
+	}
+	if len(l.Entries) != total {
+		t.Errorf("global stream has %d entries, subscriber streams %d", len(l.Entries), total)
+	}
+	prev := -1.0
+	for _, e := range l.Entries {
+		if e.Timestamp < prev {
+			t.Fatal("global stream not time-ordered")
+		}
+		prev = e.Timestamp
+	}
+}
+
+func TestGenerateLiveDeterministic(t *testing.T) {
+	a, b := smallLive(t), smallLive(t)
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs between runs", i)
+		}
+	}
+}
+
+func TestLivePartitionPreservesOrder(t *testing.T) {
+	l := smallLive(t)
+	parts := l.Partition(3)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+		lastT := -1.0
+		for _, e := range p {
+			if e.Timestamp < lastT {
+				t.Fatal("partition broke time order")
+			}
+			lastT = e.Timestamp
+		}
+	}
+	if total != len(l.Entries) {
+		t.Errorf("partitions hold %d entries, stream %d", total, len(l.Entries))
+	}
+	// a subscriber never spans partitions
+	where := map[string]int{}
+	for i, p := range parts {
+		for _, e := range p {
+			if prev, ok := where[e.Subscriber]; ok && prev != i {
+				t.Fatalf("subscriber %s in partitions %d and %d", e.Subscriber, prev, i)
+			}
+			where[e.Subscriber] = i
+		}
+	}
+}
+
+func TestLiveFeedDeliversEverything(t *testing.T) {
+	l := smallLive(t)
+	var mu sync.Mutex
+	var got int
+	l.Feed(4, 64, func(batch []weblog.Entry) {
+		if len(batch) == 0 || len(batch) > 64 {
+			t.Errorf("batch size %d", len(batch))
+		}
+		mu.Lock()
+		got += len(batch)
+		mu.Unlock()
+	})
+	if got != len(l.Entries) {
+		t.Errorf("fed %d of %d entries", got, len(l.Entries))
+	}
+}
