@@ -16,6 +16,7 @@ import (
 	"vqoe/internal/engine"
 	"vqoe/internal/experiments"
 	"vqoe/internal/ml"
+	"vqoe/internal/obs"
 	"vqoe/internal/packet"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/sessionizer"
@@ -426,6 +427,41 @@ func BenchmarkEngineIngest(b *testing.B) {
 				b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
 			})
 		}
+	}
+}
+
+// BenchmarkMetricsOverhead measures what the observability layer
+// costs on the engine's hot path: the same live stream as
+// BenchmarkEngineIngest, with the stage histograms and lifecycle
+// tracer either attached (obs=on) or left nil (obs=off, no clock
+// reads at all). The acceptance bar is <5% on entries/s; the measured
+// delta is recorded in EXPERIMENTS.md.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const subs, shards = 128, 4
+	for _, on := range []bool{false, true} {
+		name := "obs=off"
+		if on {
+			name = "obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			fw, live := liveFixture(b, subs)
+			cfg := engine.DefaultConfig()
+			cfg.Shards = shards
+			cfg.Mailbox = 1024
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if on {
+					cfg.Obs = obs.NewObserver(shards, 0)
+				} else {
+					cfg.Obs = nil
+				}
+				eng := engine.New(fw, cfg, func(engine.Report) {})
+				live.Feed(shards, 256, eng.Feed)
+				eng.Drain()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+		})
 	}
 }
 

@@ -1,10 +1,14 @@
 // Command qoeserve runs the detection framework as an HTTP service for
 // operator integration:
 //
-//	POST /analyze  one session's weblog entries (JSONL) → assessment
-//	POST /ingest   streaming entries → reports for completed sessions
-//	GET  /metrics  Prometheus exposition
-//	GET  /healthz  liveness
+//	POST /analyze        one session's weblog entries (JSONL) → assessment
+//	POST /ingest         streaming entries → reports for completed sessions
+//	GET  /metrics        Prometheus exposition: QoE aggregates, per-shard
+//	                     engine gauges, stage-latency histograms, runtime
+//	GET  /healthz        liveness
+//	GET  /debug/sessions live per-shard open-session snapshot
+//	GET  /debug/trace    session lifecycle as Chrome trace JSON
+//	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
 // Models are loaded from files written by qoetrain, or trained on a
 // synthetic corpus at startup.
@@ -12,7 +16,9 @@
 //	qoeserve -addr :8080 -stall stall.model -rep rep.model
 //
 // The /ingest path runs on the sharded live-session engine; -shards
-// and -mailbox size it. On SIGINT/SIGTERM the server stops accepting
+// and -mailbox size it. Logs are structured (log/slog); -log-level
+// and -log-format tune them, and every request is logged with status
+// and duration. On SIGINT/SIGTERM the server stops accepting
 // requests, drains the engine (flushing still-open sessions into the
 // metrics), and exits.
 package main
@@ -30,6 +36,7 @@ import (
 
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
+	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/workload"
 )
@@ -43,12 +50,24 @@ func main() {
 		seed      = flag.Int64("seed", 1, "training seed")
 		shards    = flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
 		mailbox   = flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceCap  = flag.Int("trace-buf", 0, "per-shard lifecycle trace ring capacity (0 = default)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
-	fw, err := buildFramework(*stallPath, *repPath, *trainN, *seed)
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qoeserve:", err)
+		os.Exit(1)
+	}
+
+	fw, err := buildFramework(*stallPath, *repPath, *trainN, *seed, func(msg string, args ...any) {
+		log.Info(msg, args...)
+	})
+	if err != nil {
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	ecfg := engine.DefaultConfig()
@@ -58,7 +77,12 @@ func main() {
 	if *mailbox > 0 {
 		ecfg.Mailbox = *mailbox
 	}
-	srv := pipeline.NewServerWith(fw, ecfg)
+	srv := pipeline.NewServerOpts(fw, pipeline.Options{
+		Engine:   ecfg,
+		Pprof:    *pprofOn,
+		TraceCap: *traceCap,
+		Logger:   log,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	stop := make(chan os.Signal, 1)
@@ -67,23 +91,23 @@ func main() {
 	go func() {
 		defer close(done)
 		<-stop
-		fmt.Fprintln(os.Stderr, "qoeserve: draining...")
+		log.Info("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 		flushed := srv.Drain()
-		fmt.Fprintf(os.Stderr, "qoeserve: drained %d open sessions\n", len(flushed))
+		log.Info("drained", "flushed_sessions", len(flushed))
 	}()
 
-	fmt.Fprintf(os.Stderr, "qoeserve listening on %s (%d shards)\n", *addr, srv.Engine().Shards())
+	log.Info("listening", "addr", *addr, "shards", srv.Engine().Shards(), "pprof", *pprofOn)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "qoeserve:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	<-done
 }
 
-func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Framework, error) {
+func buildFramework(stallPath, repPath string, trainN int, seed int64, logf func(string, ...any)) (*core.Framework, error) {
 	if stallPath != "" && repPath != "" {
 		stall, err := loadDetector(stallPath)
 		if err != nil {
@@ -99,7 +123,7 @@ func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Fr
 			Switch: core.NewSwitchDetector(),
 		}, nil
 	}
-	fmt.Fprintf(os.Stderr, "qoeserve: training on a %d-session synthetic corpus...\n", trainN)
+	logf("training on synthetic corpus", "sessions", trainN)
 	clearCfg := workload.DefaultConfig(trainN)
 	clearCfg.Seed = seed
 	hasCfg := workload.DefaultConfig(trainN / 2)

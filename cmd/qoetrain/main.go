@@ -19,21 +19,30 @@ import (
 	"strings"
 
 	"vqoe/internal/experiments"
+	"vqoe/internal/obs"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 12000, "cleartext corpus size")
-		has     = flag.Int("has", 3000, "adaptive-only corpus size")
-		trees   = flag.Int("trees", 60, "random forest size")
-		folds   = flag.Int("folds", 10, "cross-validation folds")
-		seed    = flag.Int64("seed", 1, "master seed")
-		quick   = flag.Bool("quick", false, "use the reduced quick scale")
-		only    = flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,table6,table7,fig1,fig2,fig3,fig4,switch,baseline,ablations,generalize,importance")
-		saveSt  = flag.String("save-stall", "", "write the trained stall model to this file")
-		saveRep = flag.String("save-rep", "", "write the trained representation model to this file")
+		n         = flag.Int("n", 12000, "cleartext corpus size")
+		has       = flag.Int("has", 3000, "adaptive-only corpus size")
+		trees     = flag.Int("trees", 60, "random forest size")
+		folds     = flag.Int("folds", 10, "cross-validation folds")
+		seed      = flag.Int64("seed", 1, "master seed")
+		quick     = flag.Bool("quick", false, "use the reduced quick scale")
+		only      = flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,table6,table7,fig1,fig2,fig3,fig4,switch,baseline,ablations,generalize,importance")
+		saveSt    = flag.String("save-stall", "", "write the trained stall model to this file")
+		saveRep   = flag.String("save-rep", "", "write the trained representation model to this file")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoetrain:", err)
+		os.Exit(1)
+	}
 
 	scale := experiments.Scale{
 		Cleartext: *n, HAS: *has, Trees: *trees, Folds: *folds, Seed: *seed,
@@ -64,9 +73,12 @@ func main() {
 	}
 	out := os.Stdout
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "qoetrain:", err)
+		log.Error("experiment failed", "err", err)
 		os.Exit(1)
 	}
+	log.Debug("suite configured",
+		"cleartext", scale.Cleartext, "has", scale.HAS,
+		"trees", scale.Trees, "folds", scale.Folds, "seed", scale.Seed)
 
 	if sel("fig1") {
 		experiments.Banner(out, "Figure 1 — chunk sizes in a video session with stalls")
@@ -188,7 +200,7 @@ func main() {
 		if err := writeModel(*saveSt, det.Save); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(out, "stall model written to %s\n", *saveSt)
+		log.Info("stall model written", "path", *saveSt)
 	}
 	if *saveRep != "" {
 		det, _, err := suite.RepModel()
@@ -198,7 +210,7 @@ func main() {
 		if err := writeModel(*saveRep, det.Save); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(out, "representation model written to %s\n", *saveRep)
+		log.Info("representation model written", "path", *saveRep)
 	}
 }
 

@@ -8,6 +8,11 @@
 //
 //	qoegen -kind encrypted -n 50 -format jsonl | qoewatch
 //	qoewatch -stall stall.model -rep rep.model < weblog.jsonl
+//
+// With -metrics-addr the same Prometheus exposition qoeserve offers is
+// served for this process, including the vqoe_stage_duration_seconds
+// pipeline-latency histograms (the serial path reports as shard 0), so
+// batch and live tooling share one instrumentation surface.
 package main
 
 import (
@@ -16,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 
 	"vqoe/internal/core"
+	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/weblog"
 	"vqoe/internal/workload"
@@ -33,26 +40,41 @@ func main() {
 		seed      = flag.Int64("seed", 1, "training seed")
 		quietOK   = flag.Bool("problems-only", false, "print only sessions with QoE issues")
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
-	fw, err := buildFramework(*stallPath, *repPath, *trainN, *seed)
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qoewatch:", err)
 		os.Exit(1)
 	}
 
+	fw, err := buildFramework(*trainN, *seed, *stallPath, *repPath, log)
+	if err != nil {
+		log.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+
 	an := pipeline.New(fw, pipeline.DefaultConfig())
 	metrics := pipeline.NewMetrics()
+	// the watch path shares the engine's instrumentation surface: one
+	// stage set, exposed as shard 0 of vqoe_stage_duration_seconds
+	stages := obs.NewStageSet()
+	an.SetStages(stages)
+	metrics.AttachStages(func() []obs.StageSetSnapshot {
+		return []obs.StageSetSnapshot{stages.Snapshot()}
+	})
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
 		go func() {
-			if err := http.ListenAndServe(*metricsAt, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "qoewatch: metrics:", err)
+			if err := http.ListenAndServe(*metricsAt, obs.HTTPMiddleware(log, mux)); err != nil {
+				log.Error("metrics server failed", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "qoewatch: metrics on http://%s/metrics\n", *metricsAt)
+		log.Info("serving metrics", "addr", *metricsAt)
 	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -60,18 +82,16 @@ func main() {
 	defer out.Flush()
 
 	var lines, emitted int
-	var lastTS float64
 	for in.Scan() {
 		if len(in.Bytes()) == 0 {
 			continue
 		}
 		var e weblog.Entry
 		if err := json.Unmarshal(in.Bytes(), &e); err != nil {
-			fmt.Fprintf(os.Stderr, "qoewatch: skipping malformed line %d: %v\n", lines+1, err)
+			log.Warn("skipping malformed line", "line", lines+1, "err", err)
 			continue
 		}
 		lines++
-		lastTS = e.Timestamp
 		metrics.ObserveEntry()
 		for _, rep := range an.Push(e) {
 			metrics.ObserveReport(rep)
@@ -79,15 +99,15 @@ func main() {
 		}
 	}
 	if err := in.Err(); err != nil && err != io.EOF {
-		fmt.Fprintln(os.Stderr, "qoewatch: read:", err)
+		log.Error("read failed", "err", err)
 		os.Exit(1)
 	}
-	_ = lastTS
 	for _, rep := range an.Flush() {
 		metrics.ObserveReport(rep)
 		emitted += printReport(out, rep, *quietOK)
 	}
 	fmt.Fprintf(out, "-- %d entries, %d session reports\n", lines, emitted)
+	log.Debug("stream finished", "entries", lines, "reports", emitted)
 }
 
 func printReport(w io.Writer, rep pipeline.SessionReport, problemsOnly bool) int {
@@ -104,7 +124,7 @@ func printReport(w io.Writer, rep pipeline.SessionReport, problemsOnly bool) int
 	return 1
 }
 
-func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Framework, error) {
+func buildFramework(trainN int, seed int64, stallPath, repPath string, log *slog.Logger) (*core.Framework, error) {
 	if stallPath != "" && repPath != "" {
 		stall, err := loadDetector(stallPath)
 		if err != nil {
@@ -120,7 +140,7 @@ func buildFramework(stallPath, repPath string, trainN int, seed int64) (*core.Fr
 			Switch: core.NewSwitchDetector(),
 		}, nil
 	}
-	fmt.Fprintf(os.Stderr, "qoewatch: no model files given; training on a %d-session synthetic corpus...\n", trainN)
+	log.Info("no model files given; training on synthetic corpus", "sessions", trainN)
 	clearCfg := workload.DefaultConfig(trainN)
 	clearCfg.Seed = seed
 	hasCfg := workload.DefaultConfig(trainN / 2)

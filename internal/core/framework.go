@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"vqoe/internal/features"
+	"vqoe/internal/obs"
 	"vqoe/internal/workload"
 )
 
@@ -61,13 +63,36 @@ type Report struct {
 
 // Analyze assesses one session from its traffic observations alone.
 func (f *Framework) Analyze(obs features.SessionObs) Report {
-	return Report{
-		Stall:          f.Stall.Predict(obs),
-		Representation: f.Rep.Predict(obs),
-		SwitchVariance: f.Switch.Detect(obs),
-		SwitchScore:    f.Switch.Score(obs),
-		Chunks:         obs.Len(),
+	return f.AnalyzeObs(obs, nil)
+}
+
+// AnalyzeObs is Analyze with stage timing: when set is non-nil, the
+// wall time of the two-forest inference is recorded under StageForest
+// and the switch detector's scoring under StageCUSUM. A nil set makes
+// this identical to Analyze (observes on a nil StageSet are no-ops,
+// but skipping the clock reads keeps the uninstrumented path exact).
+func (f *Framework) AnalyzeObs(o features.SessionObs, set *obs.StageSet) Report {
+	if set == nil {
+		return Report{
+			Stall:          f.Stall.Predict(o),
+			Representation: f.Rep.Predict(o),
+			SwitchVariance: f.Switch.Detect(o),
+			SwitchScore:    f.Switch.Score(o),
+			Chunks:         o.Len(),
+		}
 	}
+	var r Report
+	t0 := time.Now()
+	r.Stall = f.Stall.Predict(o)
+	r.Representation = f.Rep.Predict(o)
+	set.ObserveSince(obs.StageForest, t0)
+	t0 = time.Now()
+	// Detect is a threshold on Score; compute the CUSUM chart once.
+	r.SwitchScore = f.Switch.Score(o)
+	r.SwitchVariance = r.SwitchScore > f.Switch.Threshold
+	set.ObserveSince(obs.StageCUSUM, t0)
+	r.Chunks = o.Len()
+	return r
 }
 
 // AnalyzeBatch assesses many sessions at once. The two forests run in
@@ -77,21 +102,36 @@ func (f *Framework) Analyze(obs features.SessionObs) Report {
 // returned in input order and are identical to per-session Analyze
 // calls.
 func (f *Framework) AnalyzeBatch(obs []features.SessionObs) []Report {
-	if len(obs) == 0 {
+	return f.AnalyzeBatchObs(obs, nil)
+}
+
+// AnalyzeBatchObs is AnalyzeBatch with stage timing: when set is
+// non-nil, one StageForest observation covers the batched two-forest
+// pass and one StageCUSUM observation covers the switch scoring over
+// the whole batch. Reports are identical to AnalyzeBatch's.
+func (f *Framework) AnalyzeBatchObs(o []features.SessionObs, set *obs.StageSet) []Report {
+	if len(o) == 0 {
 		return nil
 	}
-	stalls := f.Stall.PredictBatch(obs)
-	reps := f.Rep.PredictBatch(obs)
-	out := make([]Report, len(obs))
-	for i, o := range obs {
+	t0 := time.Now()
+	stalls := f.Stall.PredictBatch(o)
+	reps := f.Rep.PredictBatch(o)
+	if set != nil {
+		set.ObserveSince(obs.StageForest, t0)
+		t0 = time.Now()
+	}
+	out := make([]Report, len(o))
+	for i, so := range o {
+		score := f.Switch.Score(so)
 		out[i] = Report{
 			Stall:          stalls[i],
 			Representation: reps[i],
-			SwitchVariance: f.Switch.Detect(o),
-			SwitchScore:    f.Switch.Score(o),
-			Chunks:         o.Len(),
+			SwitchVariance: score > f.Switch.Threshold,
+			SwitchScore:    score,
+			Chunks:         so.Len(),
 		}
 	}
+	set.ObserveSince(obs.StageCUSUM, t0)
 	return out
 }
 

@@ -23,6 +23,8 @@ import (
 	"sync"
 
 	"vqoe/internal/core"
+	"vqoe/internal/obs"
+	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
 
@@ -51,6 +53,11 @@ type Config struct {
 	// Negative disables auto-eviction (sessions then close only on
 	// boundaries, explicit Advance, or Drain). Default: IdleGapSec/2.
 	SweepEverySec float64
+	// Obs attaches the observability layer: per-shard stage-latency
+	// histograms, the session-lifecycle trace ring, and the structured
+	// logger for drain/eviction events. nil (the default) turns all of
+	// it off — the hot path then takes no clock readings at all.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors the serial pipeline's session parameters.
@@ -65,7 +72,11 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults resolves every zero field to its default (documented on
+// the fields above); callers that need the effective shard count
+// before constructing the engine — e.g. to size an obs.Observer — use
+// this.
+func (c Config) WithDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -112,7 +123,8 @@ type Engine struct {
 // are delivered to sink, which must be safe for concurrent use; a nil
 // sink discards them (per-shard counters still record them).
 func New(fw *core.Framework, cfg Config, sink func(Report)) *Engine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
+	cfg.Obs.EnsureShards(cfg.Shards) // no-op on a nil observer
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range e.shards {
 		e.shards[i] = newShard(i, fw, cfg, sink)
@@ -124,6 +136,10 @@ func New(fw *core.Framework, cfg Config, sink func(Report)) *Engine {
 
 // Shards reports the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Observer returns the attached observability layer (nil when the
+// engine runs uninstrumented).
+func (e *Engine) Observer() *obs.Observer { return e.cfg.Obs }
 
 func (e *Engine) shardOf(subscriber string) *shard {
 	h := fnv.New32a()
@@ -297,6 +313,40 @@ func (e *Engine) Snapshot() []ShardStats {
 			Reports: s.reports.Load(),
 			Evicted: s.evicted.Load(),
 		}
+	}
+	return out
+}
+
+// ShardSessions is one shard's live flow-table view for the
+// /debug/sessions endpoint: the open sessions plus the shard's
+// event-time high-water mark, against which session ages are read.
+type ShardSessions struct {
+	Shard     int                       `json:"shard"`
+	HighWater float64                   `json:"high_water"`
+	Sessions  []sessionizer.OpenSession `json:"sessions"`
+}
+
+// OpenSessions snapshots every shard's open sessions. The request
+// rides the shard mailboxes (so it serializes with ingest, never races
+// the flow tables) and therefore blocks behind queued work; after
+// Drain it returns empty snapshots without touching the workers.
+func (e *Engine) OpenSessions() []ShardSessions {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]ShardSessions, len(e.shards))
+	if e.closed {
+		for i := range out {
+			out[i] = ShardSessions{Shard: i, Sessions: []sessionizer.OpenSession{}}
+		}
+		return out
+	}
+	replies := make([]chan ShardSessions, len(e.shards))
+	for i, s := range e.shards {
+		replies[i] = make(chan ShardSessions, 1)
+		s.mail <- message{sessions: replies[i]}
+	}
+	for i, ch := range replies {
+		out[i] = <-ch
 	}
 	return out
 }

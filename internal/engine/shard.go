@@ -1,28 +1,36 @@
 package engine
 
 import (
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vqoe/internal/core"
 	"vqoe/internal/features"
+	"vqoe/internal/obs"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
 
 // message is one unit of shard work. Exactly one variant is meaningful
 // per message; reply, when non-nil, receives the reports the message
-// produced (otherwise they go to the sink).
+// produced (otherwise they go to the sink). sessions is the
+// observability snapshot request: the worker answers with its open
+// flow-table view and processes nothing else for that message.
 type message struct {
-	entries []weblog.Entry
-	advance float64 // >0: eviction sweep at this capture-clock time
-	flush   bool    // close everything (drain)
-	reply   chan []Report
+	entries  []weblog.Entry
+	advance  float64 // >0: eviction sweep at this capture-clock time
+	flush    bool    // close everything (drain)
+	reply    chan []Report
+	sessions chan ShardSessions // /debug/sessions snapshot request
 }
 
 // shard owns one slice of the flow table. Its state is touched only by
 // its worker goroutine — the hot path takes no locks — except the
-// atomic counters, which Snapshot reads from outside.
+// atomic counters, which Snapshot reads from outside, and the
+// observability types (stage histograms, trace ring), which are built
+// for concurrent observation.
 type shard struct {
 	id      int
 	mail    chan message
@@ -33,6 +41,14 @@ type shard struct {
 	minChunks  int
 	evictSlack float64
 	sweepEvery float64
+
+	// observability (any of these may be nil: fully off, or partially
+	// attached — every path below nil-checks before paying for an
+	// event). stages and tracer are the shard's slots in the engine
+	// observer; log is shared.
+	stages *obs.StageSet
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	// worker-goroutine state
 	highWater float64
@@ -47,7 +63,7 @@ type shard struct {
 }
 
 func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard {
-	return &shard{
+	s := &shard{
 		id:   id,
 		mail: make(chan message, cfg.Mailbox),
 		fw:   fw,
@@ -60,46 +76,89 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 		evictSlack: cfg.EvictSlackSec,
 		sweepEvery: cfg.SweepEverySec,
 		lastSweep:  -1e18,
+		stages:     cfg.Obs.Stages(id),
+		tracer:     cfg.Obs.Tracer(id),
+		log:        cfg.Obs.Logger(),
 	}
+	if s.tracer != nil {
+		tr, sid := s.tracer, int32(id)
+		s.tracker.OnOpen = func(sub string, start float64) {
+			tr.Record(obs.SpanEvent{Kind: obs.EvOpen, Shard: sid, TS: start, Start: start, Subscriber: sub})
+		}
+	}
+	return s
 }
 
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for msg := range s.mail {
+		if msg.sessions != nil {
+			msg.sessions <- ShardSessions{
+				Shard:     s.id,
+				HighWater: s.highWater,
+				Sessions:  s.tracker.OpenSnapshot(),
+			}
+			continue
+		}
+		timed := s.stages != nil
+		var tIngest, t0 time.Time
+		if timed {
+			tIngest = time.Now()
+			t0 = tIngest
+		}
 		var closed []sessionizer.Closed
 		for _, e := range msg.entries {
 			s.events.Add(1)
 			if c, ok := s.tracker.Push(e); ok {
 				closed = append(closed, c)
+				s.trace(obs.EvClose, e.Timestamp, c)
+			}
+			if s.tracer != nil && e.IsVideoHost() {
+				s.tracer.Record(obs.SpanEvent{Kind: obs.EvChunk, Shard: int32(s.id), TS: e.Timestamp, Subscriber: e.Subscriber})
 			}
 			if e.Timestamp > s.highWater {
 				s.highWater = e.Timestamp
 			}
 		}
+		if timed && len(msg.entries) > 0 {
+			s.stages.ObserveSince(obs.StageSessionize, t0)
+		}
 		// idle-eviction clock: sweep when event time has advanced
 		// enough, lagging the horizon by the configured slack so
 		// bounded cross-feeder skew cannot close a live session early.
 		if s.sweepEvery >= 0 && s.highWater-s.lastSweep >= s.sweepEvery {
-			ev := s.tracker.Advance(s.highWater - s.evictSlack)
-			s.evicted.Add(int64(len(ev)))
-			closed = append(closed, ev...)
+			closed = append(closed, s.sweep(s.highWater-s.evictSlack)...)
 			s.lastSweep = s.highWater
 		}
 		if msg.advance > 0 {
-			ev := s.tracker.Advance(msg.advance)
-			s.evicted.Add(int64(len(ev)))
-			closed = append(closed, ev...)
+			closed = append(closed, s.sweep(msg.advance)...)
 			if msg.advance > s.highWater {
 				s.highWater = msg.advance
 			}
 		}
 		if msg.flush {
-			closed = append(closed, s.tracker.Flush()...)
+			fl := s.tracker.Flush()
+			for _, c := range fl {
+				s.trace(obs.EvClose, c.End, c)
+			}
+			if s.log != nil {
+				s.log.Debug("shard drained", "shard", s.id, "flushed", len(fl), "high_water", s.highWater)
+			}
+			closed = append(closed, fl...)
 		}
 		s.open.Store(int64(s.tracker.Open()))
 
 		out := s.assess(closed)
 		s.reports.Add(int64(len(out)))
+		if s.tracer != nil {
+			for _, r := range out {
+				s.tracer.Record(obs.SpanEvent{
+					Kind: obs.EvReport, Shard: int32(s.id), TS: r.End,
+					Start: r.Start, End: r.End, Subscriber: r.Subscriber,
+					Chunks: int32(r.Report.Chunks),
+				})
+			}
+		}
 		if msg.reply != nil {
 			msg.reply <- out
 		} else if s.sink != nil {
@@ -107,26 +166,69 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				s.sink(r)
 			}
 		}
+		if timed {
+			s.stages.ObserveSince(obs.StageIngest, tIngest)
+		}
 	}
 }
 
+// sweep evicts sessions idle at the given horizon, recording them in
+// the eviction counter, the lifecycle trace, and the shard log.
+func (s *shard) sweep(horizon float64) []sessionizer.Closed {
+	ev := s.tracker.Advance(horizon)
+	if len(ev) == 0 {
+		return nil
+	}
+	s.evicted.Add(int64(len(ev)))
+	for _, c := range ev {
+		s.trace(obs.EvEvict, c.End, c)
+	}
+	if s.log != nil {
+		s.log.Debug("idle sweep evicted sessions",
+			"shard", s.id, "evicted", len(ev), "horizon", horizon, "high_water", s.highWater)
+	}
+	return ev
+}
+
+// trace records one session-lifecycle event if tracing is attached.
+func (s *shard) trace(kind obs.EventKind, ts float64, c sessionizer.Closed) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(obs.SpanEvent{
+		Kind: kind, Shard: int32(s.id), TS: ts,
+		Start: c.Start, End: c.End, Subscriber: c.Subscriber,
+		Chunks: int32(c.Chunks),
+	})
+}
+
 // assess turns the sessions a message closed into reports via one
-// batched forest pass, suppressing signalling-only fragments.
+// batched forest pass, suppressing signalling-only fragments. With
+// stage histograms attached it also times feature extraction (per
+// session) and the forest/CUSUM inference (per batch).
 func (s *shard) assess(closed []sessionizer.Closed) []Report {
 	if len(closed) == 0 {
 		return nil
 	}
-	obs := make([]features.SessionObs, 0, len(closed))
+	timed := s.stages != nil
+	sobs := make([]features.SessionObs, 0, len(closed))
 	kept := make([]sessionizer.Closed, 0, len(closed))
 	for _, c := range closed {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		o := features.FromEntries(c.Entries)
+		if timed {
+			s.stages.ObserveSince(obs.StageFeaturize, t0)
+		}
 		if o.Len() < s.minChunks {
 			continue
 		}
-		obs = append(obs, o)
+		sobs = append(sobs, o)
 		kept = append(kept, c)
 	}
-	reps := s.fw.AnalyzeBatch(obs)
+	reps := s.fw.AnalyzeBatchObs(sobs, s.stages)
 	out := make([]Report, len(reps))
 	for i, r := range reps {
 		out[i] = Report{
@@ -135,6 +237,7 @@ func (s *shard) assess(closed []sessionizer.Closed) []Report {
 			End:        kept[i].End,
 			Report:     r,
 		}
+		s.trace(obs.EvAssess, kept[i].End, kept[i])
 	}
 	return out
 }

@@ -1,0 +1,105 @@
+// Package obs is the monitor's zero-dependency observability layer:
+// stage-latency histograms, a session-lifecycle tracer, runtime
+// introspection gauges, structured-logging setup, and HTTP middleware.
+// The paper's deployment experience (§8) is that an inference monitor
+// at an operator vantage point must itself be observable — where time
+// goes per pipeline stage, which sessions sit inside the flow table,
+// and what the process is doing under load — so every hot-path type
+// here is built to be safe for concurrent use and allocation-free on
+// the observe path.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// bucketBounds are the fixed upper bounds (seconds) of the stage
+// histograms: log-ish spacing from 1µs to 2.5s, wide enough to cover a
+// single tracker push on the low end and a full drain flush on the
+// high end. A fixed array keeps Histogram a flat value type — no
+// per-instance slice, no pointer chasing on observe.
+var bucketBounds = [...]float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// NumBuckets is the number of counting buckets, including the final
+// +Inf overflow bucket.
+const NumBuckets = len(bucketBounds) + 1
+
+// BucketBounds returns the histogram upper bounds in seconds (the
+// +Inf overflow bucket is implicit).
+func BucketBounds() []float64 {
+	out := make([]float64, len(bucketBounds))
+	copy(out, bucketBounds[:])
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram in seconds. Observe is
+// lock-free, allocation-free, and safe for concurrent use; Snapshot
+// may race with concurrent observes and then reports a slightly torn
+// but individually valid view (each bucket is atomically read), which
+// is the standard Prometheus-client trade-off.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts  [NumBuckets]atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// Observe records one duration in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(bucketBounds) && seconds > bucketBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with BucketBounds plus the +Inf
+// overflow, the total count, and the sum of observed values.
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Merge adds another snapshot into this one (for cross-shard totals).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response status and size for the request
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// HTTPMiddleware wraps a handler with structured request logging and
+// panic recovery. Every request logs method, path, status, response
+// bytes, and wall duration at Info (Debug for the scrape/health
+// endpoints, which fire every few seconds and would drown the log); a
+// handler panic is logged with its stack at Error and converted to a
+// 500 instead of killing the serve goroutine. A nil logger still
+// recovers panics, silently.
+func HTTPMiddleware(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if log != nil {
+					log.Error("handler panic",
+						"method", r.Method, "path", r.URL.Path,
+						"panic", rec, "stack", string(debug.Stack()))
+				}
+				if sw.status == 0 {
+					http.Error(w, "internal server error", http.StatusInternalServerError)
+				}
+				return
+			}
+			if log == nil {
+				return
+			}
+			level := slog.LevelInfo
+			if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+				level = slog.LevelDebug
+			}
+			log.Log(r.Context(), level, "http request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "bytes", sw.bytes,
+				"duration", time.Since(start))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers under
+// /debug/pprof/ on the given mux — the standard library wires them
+// only onto http.DefaultServeMux, which the server deliberately does
+// not use. Gate the call behind an operator flag: profiles expose
+// internals and cost CPU while running.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

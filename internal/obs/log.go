@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the slog.Logger behind every command's -log-level /
+// -log-format flags. level is one of debug, info, warn, error; format
+// is text or json. The logger writes to w (commands pass os.Stderr so
+// stdout stays clean for data output).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import "time"
+
+// Stage names one timed section of the inference pipeline. The five
+// stages cover the full path of one entry batch through the monitor:
+// §5.2 session reconstruction, feature extraction, the two random
+// forests, the §4.3 CUSUM switch detector, and the end-to-end ingest
+// that wraps them all.
+type Stage uint8
+
+const (
+	// StageSessionize is the incremental §5.2 flow-table update (one
+	// observation per ingested entry batch).
+	StageSessionize Stage = iota
+	// StageFeaturize is feature-vector extraction for one closed
+	// session (one observation per session).
+	StageFeaturize
+	// StageForest is the batched random-forest inference over the
+	// sessions a batch closed (stall + representation models).
+	StageForest
+	// StageCUSUM is the switch detector's CUSUM scoring over the same
+	// closed-session batch.
+	StageCUSUM
+	// StageIngest is the end-to-end handling of one entry batch:
+	// sessionize + featurize + forest + CUSUM + report emission.
+	StageIngest
+
+	// NumStages is the number of instrumented stages.
+	NumStages = int(StageIngest) + 1
+)
+
+var stageNames = [NumStages]string{
+	"sessionize", "featurize", "forest_predict", "cusum", "ingest",
+}
+
+// String returns the stage's label value in the exposition.
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every instrumented stage in exposition order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// StageSet is one owner's histograms, one per pipeline stage — each
+// engine shard holds its own so the hot path never shares a cache line
+// with another shard, and the exposition merges per-shard sets into
+// labelled series. All methods are nil-safe: a nil *StageSet is the
+// "observability off" mode and observes are no-ops, so call sites need
+// no branches.
+type StageSet struct {
+	h [NumStages]Histogram
+}
+
+// NewStageSet returns an empty set.
+func NewStageSet() *StageSet { return &StageSet{} }
+
+// Observe records a duration (seconds) for one stage.
+func (s *StageSet) Observe(st Stage, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.h[st].Observe(seconds)
+}
+
+// ObserveSince records the elapsed wall time since start for one stage.
+func (s *StageSet) ObserveSince(st Stage, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.h[st].Observe(time.Since(start).Seconds())
+}
+
+// Snapshot copies every stage histogram.
+func (s *StageSet) Snapshot() StageSetSnapshot {
+	var out StageSetSnapshot
+	if s == nil {
+		return out
+	}
+	for i := range s.h {
+		out[i] = s.h[i].Snapshot()
+	}
+	return out
+}
+
+// StageSetSnapshot holds one snapshot per stage, indexed by Stage.
+type StageSetSnapshot [NumStages]HistogramSnapshot
+
+// Merge adds another stage-set snapshot into this one.
+func (s *StageSetSnapshot) Merge(o StageSetSnapshot) {
+	for i := range s {
+		s[i].Merge(o[i])
+	}
+}

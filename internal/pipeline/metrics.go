@@ -5,11 +5,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
+	"vqoe/internal/obs"
 )
 
 // Metrics aggregates the pipeline's output for operational monitoring.
@@ -20,6 +22,11 @@ import (
 // session-level aggregates — including the P² quantile estimators,
 // which are not themselves thread-safe — are serialized behind the
 // mutex.
+//
+// Every family in the exposition is self-describing (# HELP and
+// # TYPE precede its samples) and deterministic: label values are
+// emitted in sorted order and multi-shard families are grouped by
+// family, not by shard, as the text format requires.
 type Metrics struct {
 	entriesTotal atomic.Int64
 
@@ -39,16 +46,27 @@ type Metrics struct {
 	// engineStats, when attached, supplies per-shard gauges for the
 	// exposition (typically Engine.Snapshot).
 	engineStats func() []engine.ShardStats
+
+	// stageStats, when attached, supplies the per-shard stage-latency
+	// histograms (typically Observer.StageSnapshots). Index 0 is the
+	// serial path's pseudo-shard in unsharded deployments (qoewatch).
+	stageStats func() []obs.StageSetSnapshot
+
+	// runtime controls whether process-introspection gauges
+	// (goroutines, heap, GC pauses) are appended to the exposition.
+	runtime bool
 }
 
 // streamQ is declared in quantile.go as the P² bridge.
 
-// NewMetrics returns an empty collector.
+// NewMetrics returns an empty collector with runtime introspection
+// gauges enabled.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		chunkP50: newStreamQ(0.5),
 		chunkP90: newStreamQ(0.9),
 		scoreP90: newStreamQ(0.9),
+		runtime:  true,
 	}
 }
 
@@ -63,6 +81,24 @@ func (m *Metrics) ObserveEntries(n int) { m.entriesTotal.Add(int64(n)) }
 func (m *Metrics) AttachEngine(fn func() []engine.ShardStats) {
 	m.mu.Lock()
 	m.engineStats = fn
+	m.mu.Unlock()
+}
+
+// AttachStages wires per-shard stage-latency histograms into the
+// exposition; fn is usually (*obs.Observer).StageSnapshots. Pass nil
+// to detach.
+func (m *Metrics) AttachStages(fn func() []obs.StageSetSnapshot) {
+	m.mu.Lock()
+	m.stageStats = fn
+	m.mu.Unlock()
+}
+
+// SetRuntimeMetrics toggles the process-introspection gauges in the
+// exposition (on by default; tests that diff exact output turn it
+// off).
+func (m *Metrics) SetRuntimeMetrics(on bool) {
+	m.mu.Lock()
+	m.runtime = on
 	m.mu.Unlock()
 }
 
@@ -85,64 +121,144 @@ func (m *Metrics) ObserveReport(r SessionReport) {
 	m.scoreP90.observe(r.Report.SwitchScore)
 }
 
+// expoWriter accumulates the byte count for WriteTo while preserving
+// the first write error.
+type expoWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (e *expoWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	k, err := fmt.Fprintf(e.w, format, args...)
+	e.n += int64(k)
+	e.err = err
+}
+
+// family emits the # HELP / # TYPE header for one metric family.
+func (e *expoWriter) family(name, help, typ string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sortedByLabel pairs a class counter with its label value so label
+// order in the exposition is sorted, not declaration order.
+func sortedByLabel(names []string, counts [3]int64) []struct {
+	label string
+	count int64
+} {
+	out := make([]struct {
+		label string
+		count int64
+	}, len(names))
+	for i, n := range names {
+		out[i].label = n
+		out[i].count = counts[i]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
 // WriteTo renders the Prometheus text exposition.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var n int64
-	p := func(format string, args ...any) error {
-		k, err := fmt.Fprintf(w, format, args...)
-		n += int64(k)
-		return err
+	e := &expoWriter{w: w}
+
+	e.family("vqoe_entries_total", "Weblog entries processed.", "counter")
+	e.printf("vqoe_entries_total %d\n", m.entriesTotal.Load())
+
+	e.family("vqoe_sessions_total", "Sessions assessed.", "counter")
+	e.printf("vqoe_sessions_total %d\n", m.sessionsTotal)
+
+	e.family("vqoe_sessions_by_stall", "Sessions assessed, by predicted stall level.", "counter")
+	for _, s := range sortedByLabel(features.StallLabelNames, m.stallCounts) {
+		e.printf("vqoe_sessions_by_stall{level=%q} %d\n", s.label, s.count)
 	}
-	if err := p("# HELP vqoe_entries_total Weblog entries processed.\n# TYPE vqoe_entries_total counter\nvqoe_entries_total %d\n", m.entriesTotal.Load()); err != nil {
-		return n, err
+
+	e.family("vqoe_sessions_by_quality", "Sessions assessed, by predicted representation quality.", "counter")
+	for _, s := range sortedByLabel(features.RepLabelNames, m.repCounts) {
+		e.printf("vqoe_sessions_by_quality{level=%q} %d\n", s.label, s.count)
 	}
-	if err := p("# HELP vqoe_sessions_total Sessions assessed.\n# TYPE vqoe_sessions_total counter\nvqoe_sessions_total %d\n", m.sessionsTotal); err != nil {
-		return n, err
-	}
-	// label order is stabilized for deterministic output
-	stallLabels := append([]string(nil), features.StallLabelNames...)
-	sort.Strings(stallLabels)
-	for _, name := range stallLabels {
-		idx := indexOfLabel(features.StallLabelNames, name)
-		if err := p("vqoe_sessions_by_stall{level=%q} %d\n", name, m.stallCounts[idx]); err != nil {
-			return n, err
-		}
-	}
-	for i, name := range features.RepLabelNames {
-		if err := p("vqoe_sessions_by_quality{level=%q} %d\n", name, m.repCounts[i]); err != nil {
-			return n, err
-		}
-	}
-	if err := p("vqoe_sessions_switch_varying %d\n", m.switchVarying); err != nil {
-		return n, err
-	}
-	if err := p("vqoe_session_chunks{quantile=\"0.5\"} %g\nvqoe_session_chunks{quantile=\"0.9\"} %g\n",
-		m.chunkP50.value(), m.chunkP90.value()); err != nil {
-		return n, err
-	}
-	if err := p("vqoe_switch_score{quantile=\"0.9\"} %g\n", m.scoreP90.value()); err != nil {
-		return n, err
-	}
+
+	e.family("vqoe_sessions_switch_varying", "Sessions flagged with representation-switch variance.", "counter")
+	e.printf("vqoe_sessions_switch_varying %d\n", m.switchVarying)
+
+	e.family("vqoe_session_chunks", "Rolling per-session media chunk count (P2 estimate).", "summary")
+	e.printf("vqoe_session_chunks{quantile=\"0.5\"} %g\nvqoe_session_chunks{quantile=\"0.9\"} %g\n",
+		m.chunkP50.value(), m.chunkP90.value())
+
+	e.family("vqoe_switch_score", "Rolling per-session switch change score (P2 estimate).", "summary")
+	e.printf("vqoe_switch_score{quantile=\"0.9\"} %g\n", m.scoreP90.value())
+
 	if m.engineStats != nil {
-		if err := p("# HELP vqoe_engine_shard_open_sessions Sessions tracked per shard.\n# TYPE vqoe_engine_shard_open_sessions gauge\n"); err != nil {
-			return n, err
-		}
-		for _, s := range m.engineStats() {
-			if err := p("vqoe_engine_shard_open_sessions{shard=\"%d\"} %d\n"+
-				"vqoe_engine_shard_mailbox_depth{shard=\"%d\"} %d\n"+
-				"vqoe_engine_shard_entries_total{shard=\"%d\"} %d\n"+
-				"vqoe_engine_shard_dropped_total{shard=\"%d\"} %d\n"+
-				"vqoe_engine_shard_reports_total{shard=\"%d\"} %d\n"+
-				"vqoe_engine_shard_evicted_total{shard=\"%d\"} %d\n",
-				s.Shard, s.Open, s.Shard, s.Mailbox, s.Shard, s.Events,
-				s.Shard, s.Dropped, s.Shard, s.Reports, s.Shard, s.Evicted); err != nil {
-				return n, err
-			}
+		m.writeEngine(e, m.engineStats())
+	}
+	if m.stageStats != nil {
+		m.writeStages(e, m.stageStats())
+	}
+	if e.err != nil {
+		return e.n, e.err
+	}
+	if m.runtime {
+		k, err := obs.WriteRuntimeMetrics(w)
+		e.n += k
+		e.err = err
+	}
+	return e.n, e.err
+}
+
+// writeEngine renders the per-shard engine gauges grouped by family
+// (the text format requires all samples of a family to be contiguous).
+func (m *Metrics) writeEngine(e *expoWriter, stats []engine.ShardStats) {
+	families := []struct {
+		name, help, typ string
+		value           func(engine.ShardStats) int64
+	}{
+		{"vqoe_engine_shard_open_sessions", "Sessions tracked per shard.", "gauge",
+			func(s engine.ShardStats) int64 { return int64(s.Open) }},
+		{"vqoe_engine_shard_mailbox_depth", "Queued messages per shard mailbox.", "gauge",
+			func(s engine.ShardStats) int64 { return int64(s.Mailbox) }},
+		{"vqoe_engine_shard_entries_total", "Entries processed per shard.", "counter",
+			func(s engine.ShardStats) int64 { return s.Events }},
+		{"vqoe_engine_shard_dropped_total", "Entries shed per shard on a full mailbox.", "counter",
+			func(s engine.ShardStats) int64 { return s.Dropped }},
+		{"vqoe_engine_shard_reports_total", "Session reports emitted per shard.", "counter",
+			func(s engine.ShardStats) int64 { return s.Reports }},
+		{"vqoe_engine_shard_evicted_total", "Sessions closed per shard by the idle clock.", "counter",
+			func(s engine.ShardStats) int64 { return s.Evicted }},
+	}
+	for _, fam := range families {
+		e.family(fam.name, fam.help, fam.typ)
+		for _, s := range stats {
+			e.printf("%s{shard=\"%d\"} %d\n", fam.name, s.Shard, fam.value(s))
 		}
 	}
-	return n, nil
+}
+
+// writeStages renders the stage-latency histograms: one Prometheus
+// histogram family with stage and shard labels, cumulative buckets,
+// and per-series _sum/_count.
+func (m *Metrics) writeStages(e *expoWriter, snaps []obs.StageSetSnapshot) {
+	const name = "vqoe_stage_duration_seconds"
+	e.family(name, "Pipeline stage latency per engine shard.", "histogram")
+	bounds := obs.BucketBounds()
+	for shard, snap := range snaps {
+		for _, st := range obs.Stages() {
+			h := snap[st]
+			cum := uint64(0)
+			for i, b := range bounds {
+				cum += h.Counts[i]
+				e.printf("%s_bucket{stage=%q,shard=\"%d\",le=\"%s\"} %d\n",
+					name, st.String(), shard, strconv.FormatFloat(b, 'g', -1, 64), cum)
+			}
+			e.printf("%s_bucket{stage=%q,shard=\"%d\",le=\"+Inf\"} %d\n", name, st.String(), shard, h.Count)
+			e.printf("%s_sum{stage=%q,shard=\"%d\"} %g\n", name, st.String(), shard, h.Sum)
+			e.printf("%s_count{stage=%q,shard=\"%d\"} %d\n", name, st.String(), shard, h.Count)
+		}
+	}
 }
 
 // Handler serves the metrics over HTTP (GET only).
@@ -155,13 +271,4 @@ func (m *Metrics) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_, _ = m.WriteTo(w)
 	})
-}
-
-func indexOfLabel(names []string, want string) int {
-	for i, n := range names {
-		if n == want {
-			return i
-		}
-	}
-	return 0
 }

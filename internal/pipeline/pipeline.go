@@ -8,8 +8,11 @@
 package pipeline
 
 import (
+	"time"
+
 	"vqoe/internal/core"
 	"vqoe/internal/features"
+	"vqoe/internal/obs"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
@@ -42,9 +45,10 @@ type SessionReport struct {
 // two paths split identically. Analyzer is not safe for concurrent
 // use; internal/engine is the sharded deployment form.
 type Analyzer struct {
-	fw  *core.Framework
-	cfg Config
-	tr  *sessionizer.Tracker
+	fw     *core.Framework
+	cfg    Config
+	tr     *sessionizer.Tracker
+	stages *obs.StageSet
 }
 
 // New creates an Analyzer emitting reports from the given framework.
@@ -68,20 +72,40 @@ func New(fw *core.Framework, cfg Config) *Analyzer {
 // OpenSessions reports the number of sessions currently being tracked.
 func (a *Analyzer) OpenSessions() int { return a.tr.Open() }
 
+// SetStages attaches stage-latency histograms to the serial path so
+// batch tooling (qoewatch) shares the sharded engine's instrumentation
+// surface: sessionize is timed per pushed entry, featurize and the
+// forest/CUSUM split per finished session, ingest end to end per
+// entry. Pass nil to detach (the default: no clock reads at all).
+func (a *Analyzer) SetStages(s *obs.StageSet) { a.stages = s }
+
 // Push processes one weblog entry and returns any session reports that
 // became final because of it (a watch-page load or an idle gap closed
 // the subscriber's previous session). Entries for non-service hosts
 // are ignored. Entries must arrive in non-decreasing timestamp order
 // per subscriber.
 func (a *Analyzer) Push(e weblog.Entry) []SessionReport {
-	c, ok := a.tr.Push(e)
-	if !ok {
+	if a.stages == nil {
+		c, ok := a.tr.Push(e)
+		if !ok {
+			return nil
+		}
+		if rep, ok := a.finish(c); ok {
+			return []SessionReport{rep}
+		}
 		return nil
 	}
-	if rep, ok := a.finish(c); ok {
-		return []SessionReport{rep}
+	t0 := time.Now()
+	c, ok := a.tr.Push(e)
+	a.stages.ObserveSince(obs.StageSessionize, t0)
+	var out []SessionReport
+	if ok {
+		if rep, repOK := a.finish(c); repOK {
+			out = []SessionReport{rep}
+		}
 	}
-	return nil
+	a.stages.ObserveSince(obs.StageIngest, t0)
+	return out
 }
 
 // Advance closes every session idle at the given clock time and
@@ -109,14 +133,21 @@ func (a *Analyzer) finishAll(closed []sessionizer.Closed) []SessionReport {
 }
 
 func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
-	obs := features.FromEntries(c.Entries)
-	if obs.Len() < a.cfg.MinChunks {
+	var t0 time.Time
+	if a.stages != nil {
+		t0 = time.Now()
+	}
+	o := features.FromEntries(c.Entries)
+	if a.stages != nil {
+		a.stages.ObserveSince(obs.StageFeaturize, t0)
+	}
+	if o.Len() < a.cfg.MinChunks {
 		return SessionReport{}, false
 	}
 	return SessionReport{
 		Subscriber: c.Subscriber,
 		Start:      c.Start,
 		End:        c.End,
-		Report:     a.fw.Analyze(obs),
+		Report:     a.fw.AnalyzeObs(o, a.stages),
 	}, true
 }

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
 	"vqoe/internal/mos"
+	"vqoe/internal/obs"
 	"vqoe/internal/weblog"
 )
 
@@ -20,9 +22,15 @@ import (
 //	POST /ingest   — body: JSONL entries appended to the live
 //	                 engine; response: reports for any sessions the
 //	                 new entries completed.
-//	GET  /metrics  — Prometheus exposition of everything assessed,
-//	                 including per-shard engine gauges.
+//	GET  /metrics  — Prometheus exposition of everything assessed:
+//	                 per-shard engine gauges, stage-latency
+//	                 histograms, and runtime introspection.
 //	GET  /healthz  — liveness.
+//	GET  /debug/sessions — live per-shard open-session snapshot.
+//	GET  /debug/trace    — session-lifecycle ring as Chrome
+//	                       trace_event JSON (load in chrome://tracing
+//	                       or Perfetto).
+//	GET  /debug/pprof/   — net/http/pprof, only with Options.Pprof.
 //
 // Server is safe for concurrent use. /ingest routes through the
 // sharded live-session engine, so concurrent requests for different
@@ -34,6 +42,26 @@ type Server struct {
 	fw      *core.Framework
 	metrics *Metrics
 	eng     *engine.Engine
+	obs     *obs.Observer
+	opts    Options
+}
+
+// Options tunes the server beyond the engine layout.
+type Options struct {
+	// Engine configures the live engine behind /ingest. Engine.Obs is
+	// overwritten: the server always builds its own observer so
+	// /metrics and the debug endpoints have a source.
+	Engine engine.Config
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose process internals and cost CPU while running.
+	Pprof bool
+	// TraceCap is the per-shard lifecycle trace ring capacity
+	// (obs.DefaultTraceCap when <= 0).
+	TraceCap int
+	// Logger, when set, enables structured request logging and panic
+	// recovery on every endpoint plus per-shard drain/eviction logs in
+	// the engine.
+	Logger *slog.Logger
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -45,13 +73,24 @@ func NewServer(fw *core.Framework) *Server {
 // NewServerWith wraps a trained framework, tuning the live engine
 // behind /ingest.
 func NewServerWith(fw *core.Framework, ecfg engine.Config) *Server {
-	s := &Server{fw: fw, metrics: NewMetrics()}
+	return NewServerOpts(fw, Options{Engine: ecfg})
+}
+
+// NewServerOpts wraps a trained framework with full control over the
+// observability surface.
+func NewServerOpts(fw *core.Framework, opts Options) *Server {
+	s := &Server{fw: fw, metrics: NewMetrics(), opts: opts}
+	ecfg := opts.Engine.WithDefaults()
+	s.obs = obs.NewObserver(ecfg.Shards, opts.TraceCap)
+	s.obs.SetLogger(opts.Logger)
+	ecfg.Obs = s.obs
 	// sink: reports produced outside a request (none today, but a
 	// capture-loop Feed caller shares this engine) still hit metrics
 	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
 		s.metrics.ObserveReport(fromEngine(r))
 	})
 	s.metrics.AttachEngine(s.eng.Snapshot)
+	s.metrics.AttachStages(s.obs.StageSnapshots)
 	return s
 }
 
@@ -78,6 +117,10 @@ func fromEngine(r engine.Report) SessionReport {
 	return SessionReport{Subscriber: r.Subscriber, Start: r.Start, End: r.End, Report: r.Report}
 }
 
+// Observer exposes the observability layer (for embedding: attach a
+// logger, read trace events, snapshot stage histograms).
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -87,7 +130,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.HandleFunc("/debug/sessions", s.handleDebugSessions)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	if s.opts.Pprof {
+		obs.RegisterPprof(mux)
+	}
+	return obs.HTTPMiddleware(s.opts.Logger, mux)
+}
+
+// DebugSessionsResponse is the JSON shape of /debug/sessions: every
+// shard's live flow-table view.
+type DebugSessionsResponse struct {
+	Shards []engine.ShardSessions `json:"shards"`
+	Open   int                    `json:"open"`
+}
+
+func (s *Server) handleDebugSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := DebugSessionsResponse{Shards: s.eng.OpenSessions()}
+	for _, sh := range resp.Shards {
+		resp.Open += len(sh.Sessions)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, s.obs.TraceEvents())
 }
 
 // AnalyzeResponse is the JSON shape of /analyze results.

@@ -106,11 +106,14 @@ func Group(entries []weblog.Entry, cfg Config) []Session {
 }
 
 // Closed is one finished session emitted by the incremental Tracker:
-// the entries it grouped, in arrival order.
+// the entries it grouped, in arrival order. Chunks counts the media
+// downloads among them (maintained incrementally, so lifecycle tracing
+// does not rescan entries).
 type Closed struct {
 	Subscriber string
 	Entries    []weblog.Entry
 	Start, End float64
+	Chunks     int
 }
 
 // Tracker reconstructs sessions incrementally, one entry at a time,
@@ -125,11 +128,18 @@ type Closed struct {
 type Tracker struct {
 	cfg  Config
 	open map[string]*openFlow
+
+	// OnOpen, when set, is called with the subscriber and start time
+	// each time a new session enters the flow table (the observability
+	// layer's session-lifecycle tracer hangs off this). It runs inline
+	// on the Push path — keep it cheap.
+	OnOpen func(subscriber string, start float64)
 }
 
 type openFlow struct {
 	entries    []weblog.Entry
 	start, end float64
+	media      int // entries on the media CDN (chunk downloads)
 }
 
 // NewTracker returns an empty flow table with the given splitting
@@ -162,14 +172,21 @@ func (t *Tracker) Push(e weblog.Entry) (Closed, bool) {
 				Entries:    cur.entries,
 				Start:      cur.start,
 				End:        cur.end,
+				Chunks:     cur.media,
 			}
 			closed = true
 		}
 		cur = &openFlow{start: e.Timestamp}
 		t.open[e.Subscriber] = cur
+		if t.OnOpen != nil {
+			t.OnOpen(e.Subscriber, e.Timestamp)
+		}
 	}
 	cur.entries = append(cur.entries, e)
 	cur.end = e.Timestamp
+	if e.IsVideoHost() {
+		cur.media++
+	}
 	return out, closed
 }
 
@@ -187,7 +204,7 @@ func (t *Tracker) Advance(now float64) []Closed {
 	var out []Closed
 	for sub, f := range t.open {
 		if now-f.end > t.cfg.IdleGap {
-			out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end})
+			out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end, Chunks: f.media})
 			delete(t.open, sub)
 		}
 	}
@@ -200,10 +217,43 @@ func (t *Tracker) Advance(now float64) []Closed {
 func (t *Tracker) Flush() []Closed {
 	out := make([]Closed, 0, len(t.open))
 	for sub, f := range t.open {
-		out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end})
+		out = append(out, Closed{Subscriber: sub, Entries: f.entries, Start: f.start, End: f.end, Chunks: f.media})
 		delete(t.open, sub)
 	}
 	sortClosed(out)
+	return out
+}
+
+// OpenSession is a point-in-time view of one session still in the
+// flow table — what an operator sees at /debug/sessions.
+type OpenSession struct {
+	Subscriber string  `json:"subscriber"`
+	Start      float64 `json:"start"`
+	LastSeen   float64 `json:"last_seen"`
+	Entries    int     `json:"entries"`
+	Chunks     int     `json:"chunks"`
+}
+
+// OpenSnapshot lists the open sessions ordered by start time then
+// subscriber. Like every Tracker method it must run on the owning
+// goroutine (the engine routes it through the shard mailbox).
+func (t *Tracker) OpenSnapshot() []OpenSession {
+	out := make([]OpenSession, 0, len(t.open))
+	for sub, f := range t.open {
+		out = append(out, OpenSession{
+			Subscriber: sub,
+			Start:      f.start,
+			LastSeen:   f.end,
+			Entries:    len(f.entries),
+			Chunks:     f.media,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Subscriber < out[j].Subscriber
+	})
 	return out
 }
 

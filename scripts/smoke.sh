@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the observability surface: boot qoeserve,
+# replay a generated live stream into /ingest, then assert every
+# operator endpoint answers and the exposition carries the expected
+# families. CI runs this after the unit suite; it is also the fastest
+# way to sanity-check a local build:
+#
+#   ./scripts/smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/qoeserve" ./cmd/qoeserve
+go build -o "$TMP/qoegen" ./cmd/qoegen
+
+echo "== boot qoeserve"
+"$TMP/qoeserve" -addr "$ADDR" -train-n 200 -shards 4 -pprof \
+    -log-level debug >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "qoeserve died during startup:" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+curl -fsS "$BASE/healthz" | grep -q ok
+echo "   healthz ok"
+
+echo "== ingest a generated live stream"
+"$TMP/qoegen" -kind live -subscribers 16 -n 2 -seed 7 -format jsonl >"$TMP/live.jsonl"
+test -s "$TMP/live.jsonl"
+ACCEPTED=$(curl -fsS -X POST --data-binary @"$TMP/live.jsonl" "$BASE/ingest" |
+    grep -o '"accepted":[0-9]*' | cut -d: -f2)
+echo "   accepted $ACCEPTED entries"
+test "$ACCEPTED" -gt 0
+
+echo "== scrape /metrics"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+for family in \
+    vqoe_entries_total \
+    vqoe_sessions_total \
+    vqoe_sessions_by_quality \
+    vqoe_sessions_switch_varying \
+    vqoe_engine_shard_open_sessions \
+    vqoe_stage_duration_seconds_bucket \
+    vqoe_go_goroutines; do
+    grep -q "^$family" "$TMP/metrics.txt" ||
+        { echo "missing family $family" >&2; exit 1; }
+done
+# every family must be self-describing
+for family in $(grep -o '^vqoe_[a-z_]*' "$TMP/metrics.txt" |
+    sed 's/_bucket$//;s/_sum$//;s/_count$//' | sort -u); do
+    grep -q "^# TYPE $family " "$TMP/metrics.txt" ||
+        { echo "family $family lacks # TYPE" >&2; exit 1; }
+done
+# the stage histogram must cover >= 4 pipeline stages
+STAGES=$(grep -o 'vqoe_stage_duration_seconds_count{stage="[a-z_]*"' "$TMP/metrics.txt" |
+    sort -u | wc -l)
+echo "   $STAGES stages instrumented"
+test "$STAGES" -ge 4
+
+echo "== debug endpoints"
+curl -fsS "$BASE/debug/sessions" | grep -q '"shards"'
+curl -fsS "$BASE/debug/trace" >"$TMP/trace.json"
+grep -q '"traceEvents"' "$TMP/trace.json"
+python3 -c "import json,sys; t=json.load(open('$TMP/trace.json')); sys.exit(0 if t['traceEvents'] else 1)" 2>/dev/null ||
+    grep -q '"ph"' "$TMP/trace.json"
+curl -fsS "$BASE/debug/pprof/" >/dev/null
+echo "   sessions, trace, pprof ok"
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "== smoke ok"
