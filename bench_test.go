@@ -78,7 +78,7 @@ func BenchmarkTable3StallCleartext(b *testing.B) {
 	b.ResetTimer()
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1, 0)
 		acc = cv.Accuracy()
 	}
 	b.ReportMetric(100*acc, "acc%")
@@ -115,7 +115,7 @@ func BenchmarkTable6RepCleartext(b *testing.B) {
 	b.ResetTimer()
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		cv := ml.CrossValidate(reduced, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1, 0)
 		acc = cv.Accuracy()
 	}
 	b.ReportMetric(100*acc, "acc%")
@@ -263,7 +263,7 @@ func BenchmarkBaselinePrometheusBinary(b *testing.B) {
 	b.ResetTimer()
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		cv := ml.CrossValidate(ds, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1)
+		cv := ml.CrossValidate(ds, s.Scale.Folds, ml.ForestConfig{Trees: s.Scale.Trees, Seed: 1}, 1, 0)
 		acc = cv.Accuracy()
 	}
 	b.ReportMetric(100*acc, "acc%")

@@ -287,7 +287,7 @@ func TestFrameworkEndToEnd(t *testing.T) {
 func TestBaselineBinaryClassifier(t *testing.T) {
 	testCorpora(t)
 	ds := BuildBinaryStallDataset(stallCorpus)
-	conf := ml.CrossValidate(ds, 5, ml.ForestConfig{Trees: 30, Seed: 3}, 4)
+	conf := ml.CrossValidate(ds, 5, ml.ForestConfig{Trees: 30, Seed: 3}, 4, 0)
 	if acc := conf.Accuracy(); acc < 0.75 {
 		t.Errorf("binary baseline accuracy %.3f too low (Prometheus: 0.84)", acc)
 	}
@@ -346,6 +346,29 @@ func TestDetectorSaveWriteErrors(t *testing.T) {
 	for _, budget := range []int{0, 10, 40, 200} {
 		if err := stallDet.Save(&failingWriter{left: budget}); err == nil {
 			t.Errorf("Save with %d-byte budget should fail", budget)
+		}
+	}
+}
+
+// TestPredictBatchMatchesSingle locks the sparse batched featurize
+// path to the dense per-session path: for every corpus session, the
+// engine-style PredictBatch (sparse metrics, scratch buffers,
+// tree-major forest) must produce exactly the per-session Predict
+// (dense featurize, projection, per-instance walk).
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	testCorpora(t)
+	obs := make([]features.SessionObs, len(encCorpus.Sessions))
+	for i, s := range encCorpus.Sessions {
+		obs[i] = s.Obs
+	}
+	stallBatch := stallDet.PredictBatch(obs)
+	repBatch := repDet.PredictBatch(obs)
+	for i, o := range obs {
+		if want := stallDet.Predict(o); stallBatch[i] != want {
+			t.Fatalf("stall session %d: batch %v != single %v", i, stallBatch[i], want)
+		}
+		if want := repDet.Predict(o); repBatch[i] != want {
+			t.Fatalf("rep session %d: batch %v != single %v", i, repBatch[i], want)
 		}
 	}
 }

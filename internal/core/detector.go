@@ -22,6 +22,27 @@ type Detector struct {
 	Gains []ml.RankedFeature
 	// full is the feature schema the raw vectors arrive in.
 	full []string
+	// selIdx maps Selected positions to full-schema columns (-1 when a
+	// name is absent), precomputed so projection is an index gather
+	// instead of |Selected|·|full| string compares per instance.
+	selIdx []int
+}
+
+// indexSelected precomputes selIdx. Called at construction (Train,
+// LoadDetector); a detector assembled by hand falls back to the
+// name-matching path.
+func (d *Detector) indexSelected() {
+	idx := make([]int, len(d.Selected))
+	for i, name := range d.Selected {
+		idx[i] = -1
+		for j, n := range d.full {
+			if n == name {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	d.selIdx = idx
 }
 
 // TrainConfig bundles the training hyperparameters.
@@ -112,7 +133,7 @@ func Train(ds *ml.Dataset, cfg TrainConfig) (*Detector, *TrainReport, error) {
 		gains[i] = ml.RankedFeature{Name: n, Gain: gainByName[n]}
 	}
 
-	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed)
+	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed, 0)
 
 	finalTrain := reduced.Balance(stats.NewRand(cfg.Seed + 1))
 	forest := ml.TrainForest(finalTrain, cfg.Forest)
@@ -123,6 +144,7 @@ func Train(ds *ml.Dataset, cfg TrainConfig) (*Detector, *TrainReport, error) {
 		Gains:    gains,
 		full:     ds.Names,
 	}
+	det.indexSelected()
 	rep := &TrainReport{
 		Selected:    gains,
 		CV:          cv,
@@ -148,20 +170,85 @@ func (d *Detector) predictVector(raw []float64) int {
 	return d.Forest.Predict(d.project(raw, nil))
 }
 
+// PredictScratch holds the reusable buffers one caller (e.g. an
+// engine shard) threads through a detector's batched prediction path
+// so steady-state batches allocate nothing past featurization. The
+// zero value is ready to use; a scratch must not be shared across
+// goroutines or across detectors of different schemas concurrently.
+type PredictScratch struct {
+	raw     [][]float64 // full-schema vector headers
+	proj    [][]float64 // projected vector headers into projBuf
+	projBuf []float64
+	dist    []float64
+	out     []int
+	// sparse is the lazily built sparse featurizer for this scratch's
+	// detector: it evaluates only the metrics the selected features
+	// touch, directly into the projected layout. Living in the scratch
+	// (per shard) rather than on the shared detector keeps its
+	// construction race-free without a lock on the predict path.
+	sparse *features.Sparse
+}
+
+// grow returns b resized to n, reallocating only when capacity is
+// exhausted — the amortized-zero-allocation idiom every scratch buffer
+// here relies on.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
 // predictVectors classifies a batch of raw feature vectors given in
 // the full schema, sharing the tree-major traversal of
-// Forest.PredictBatch.
+// Forest.PredictBatchInto. The one-shot entry point: allocates its own
+// buffers.
 func (d *Detector) predictVectors(raw [][]float64) []int {
-	if len(raw) == 0 {
+	var s PredictScratch
+	return d.predictVectorsInto(raw, &s)
+}
+
+// predictVectorsInto is predictVectors with caller-owned buffers. The
+// returned slice aliases s.out and is valid until the next call with
+// the same scratch.
+func (d *Detector) predictVectorsInto(raw [][]float64, s *PredictScratch) []int {
+	n := len(raw)
+	if n == 0 {
 		return nil
 	}
-	// one backing array for all projected vectors
-	buf := make([]float64, len(raw)*len(d.Selected))
-	xs := make([][]float64, len(raw))
+	k := len(d.Selected)
+	nc := len(d.Forest.Classes)
+	s.projBuf = grow(s.projBuf, n*k)
+	s.proj = grow(s.proj, n)
 	for i, r := range raw {
-		xs[i] = d.project(r, buf[i*len(d.Selected):(i+1)*len(d.Selected)])
+		s.proj[i] = d.project(r, s.projBuf[i*k:(i+1)*k])
 	}
-	return d.Forest.PredictBatch(xs)
+	s.dist = grow(s.dist, n*nc)
+	s.out = grow(s.out, n)
+	return d.Forest.PredictBatchInto(s.proj, s.dist, s.out)
+}
+
+// predictSparseInto featurizes obs directly into the projected layout
+// — only the metrics the selected features touch are computed — and
+// classifies the batch tree-major. s.sparse must be built for this
+// detector's schema. The returned class indices alias the scratch.
+func (d *Detector) predictSparseInto(obs []features.SessionObs, s *PredictScratch) []int {
+	n := len(obs)
+	if n == 0 {
+		return nil
+	}
+	k := len(d.Selected)
+	nc := len(d.Forest.Classes)
+	s.projBuf = grow(s.projBuf, n*k)
+	s.proj = grow(s.proj, n)
+	for i, o := range obs {
+		dst := s.projBuf[i*k : (i+1)*k]
+		s.sparse.EvalInto(o, dst)
+		s.proj[i] = dst
+	}
+	s.dist = grow(s.dist, n*nc)
+	s.out = grow(s.out, n)
+	return d.Forest.PredictBatchInto(s.proj, s.dist, s.out)
 }
 
 // project maps a full-schema vector onto the selected feature subset,
@@ -169,6 +256,14 @@ func (d *Detector) predictVectors(raw [][]float64) []int {
 func (d *Detector) project(raw, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(d.Selected))
+	}
+	if d.selIdx != nil {
+		for i, j := range d.selIdx {
+			if j >= 0 {
+				dst[i] = raw[j]
+			}
+		}
+		return dst
 	}
 	for i, name := range d.Selected {
 		for j, n := range d.full {
@@ -219,7 +314,9 @@ func LoadDetector(r io.Reader) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{Forest: forest, Selected: sel, full: full}, nil
+	det := &Detector{Forest: forest, Selected: sel, full: full}
+	det.indexSelected()
+	return det, nil
 }
 
 func readRawLines(r io.Reader, n int) ([]string, error) {
@@ -261,16 +358,33 @@ func (d *StallDetector) Predict(obs features.SessionObs) features.StallLabel {
 // PredictBatch classifies many sessions' stalling levels in one
 // tree-major forest pass.
 func (d *StallDetector) PredictBatch(obs []features.SessionObs) []features.StallLabel {
-	raw := make([][]float64, len(obs))
-	for i, o := range obs {
-		raw[i] = features.StallFeatures(o)
-	}
-	preds := d.predictVectors(raw)
+	var s PredictScratch
+	preds := d.predictBatchInto(obs, &s)
 	out := make([]features.StallLabel, len(preds))
 	for i, p := range preds {
 		out[i] = features.StallLabel(p)
 	}
 	return out
+}
+
+// predictBatchInto featurizes obs and classifies the batch through the
+// scratch's buffers. With an indexed selection it runs the sparse
+// featurizer — only the metrics the selected features touch are
+// summarized; a hand-assembled detector without selIdx falls back to
+// dense featurize plus name-matched projection. The returned class
+// indices alias the scratch.
+func (d *StallDetector) predictBatchInto(obs []features.SessionObs, s *PredictScratch) []int {
+	if d.selIdx == nil {
+		s.raw = grow(s.raw, len(obs))
+		for i, o := range obs {
+			s.raw[i] = features.StallFeatures(o)
+		}
+		return d.predictVectorsInto(s.raw, s)
+	}
+	if s.sparse == nil {
+		s.sparse = features.NewStallSparse(d.selIdx)
+	}
+	return d.predictSparseInto(obs, s)
 }
 
 // EvaluateCorpus applies the model to a labelled corpus (e.g. the
@@ -301,16 +415,29 @@ func (d *RepresentationDetector) Predict(obs features.SessionObs) features.RepLa
 // PredictBatch classifies many sessions' average representations in
 // one tree-major forest pass.
 func (d *RepresentationDetector) PredictBatch(obs []features.SessionObs) []features.RepLabel {
-	raw := make([][]float64, len(obs))
-	for i, o := range obs {
-		raw[i] = features.RepFeatures(o)
-	}
-	preds := d.predictVectors(raw)
+	var s PredictScratch
+	preds := d.predictBatchInto(obs, &s)
 	out := make([]features.RepLabel, len(preds))
 	for i, p := range preds {
 		out[i] = features.RepLabel(p)
 	}
 	return out
+}
+
+// predictBatchInto is the representation model's scratch-threaded
+// batch path; see StallDetector.predictBatchInto.
+func (d *RepresentationDetector) predictBatchInto(obs []features.SessionObs, s *PredictScratch) []int {
+	if d.selIdx == nil {
+		s.raw = grow(s.raw, len(obs))
+		for i, o := range obs {
+			s.raw[i] = features.RepFeatures(o)
+		}
+		return d.predictVectorsInto(s.raw, s)
+	}
+	if s.sparse == nil {
+		s.sparse = features.NewRepSparse(d.selIdx)
+	}
+	return d.predictSparseInto(obs, s)
 }
 
 // EvaluateCorpus applies the model to a labelled corpus.

@@ -110,22 +110,45 @@ func (f *Framework) AnalyzeBatch(obs []features.SessionObs) []Report {
 // pass and one StageCUSUM observation covers the switch scoring over
 // the whole batch. Reports are identical to AnalyzeBatch's.
 func (f *Framework) AnalyzeBatchObs(o []features.SessionObs, set *obs.StageSet) []Report {
+	return f.AnalyzeBatchInto(o, set, nil)
+}
+
+// AnalyzeScratch carries the reusable buffers a long-lived caller (an
+// engine shard) threads through AnalyzeBatchInto so the predict side
+// of the featurize→predict loop performs zero allocations per batch
+// once the buffers have grown to the working-set size. The zero value
+// is ready; a scratch is single-goroutine.
+type AnalyzeScratch struct {
+	stall, rep PredictScratch
+	reports    []Report
+}
+
+// AnalyzeBatchInto is AnalyzeBatchObs with caller-owned buffers: the
+// returned reports alias sc and are valid until the next call with the
+// same scratch (callers that retain them must copy, as the engine does
+// when it wraps them in engine.Reports). A nil sc makes this identical
+// to AnalyzeBatchObs.
+func (f *Framework) AnalyzeBatchInto(o []features.SessionObs, set *obs.StageSet, sc *AnalyzeScratch) []Report {
 	if len(o) == 0 {
 		return nil
 	}
+	if sc == nil {
+		sc = new(AnalyzeScratch)
+	}
 	t0 := time.Now()
-	stalls := f.Stall.PredictBatch(o)
-	reps := f.Rep.PredictBatch(o)
+	stalls := f.Stall.predictBatchInto(o, &sc.stall)
+	reps := f.Rep.predictBatchInto(o, &sc.rep)
 	if set != nil {
 		set.ObserveSince(obs.StageForest, t0)
 		t0 = time.Now()
 	}
-	out := make([]Report, len(o))
+	sc.reports = grow(sc.reports, len(o))
+	out := sc.reports
 	for i, so := range o {
 		score := f.Switch.Score(so)
 		out[i] = Report{
-			Stall:          stalls[i],
-			Representation: reps[i],
+			Stall:          features.StallLabel(stalls[i]),
+			Representation: features.RepLabel(reps[i]),
 			SwitchVariance: score > f.Switch.Threshold,
 			SwitchScore:    score,
 			Chunks:         so.Len(),

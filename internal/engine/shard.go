@@ -54,6 +54,15 @@ type shard struct {
 	highWater float64
 	lastSweep float64
 
+	// per-shard scratch for the featurize→predict loop: the worker
+	// goroutine owns these exclusively, so steady-state batches reuse
+	// them instead of allocating (core.AnalyzeScratch carries the
+	// projection/distribution buffers down through the forests).
+	scratch core.AnalyzeScratch
+	sobsBuf []features.SessionObs
+	keptBuf []sessionizer.Closed
+	outBuf  []Report
+
 	// counters/gauges read by Snapshot
 	open    atomic.Int64
 	events  atomic.Int64
@@ -148,7 +157,10 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		}
 		s.open.Store(int64(s.tracker.Open()))
 
-		out := s.assess(closed)
+		// reports sent to a reply channel escape this goroutine before
+		// the next message is processed, so only the sink path may hand
+		// out the reusable buffer
+		out := s.assess(closed, msg.reply == nil)
 		s.reports.Add(int64(len(out)))
 		if s.tracer != nil {
 			for _, r := range out {
@@ -205,14 +217,17 @@ func (s *shard) trace(kind obs.EventKind, ts float64, c sessionizer.Closed) {
 // assess turns the sessions a message closed into reports via one
 // batched forest pass, suppressing signalling-only fragments. With
 // stage histograms attached it also times feature extraction (per
-// session) and the forest/CUSUM inference (per batch).
-func (s *shard) assess(closed []sessionizer.Closed) []Report {
+// session) and the forest/CUSUM inference (per batch). When reuse is
+// true the returned slice aliases the shard's report buffer and is
+// only valid until the next assess call — the sink path consumes it
+// immediately, while reply paths need a fresh slice.
+func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 	if len(closed) == 0 {
 		return nil
 	}
 	timed := s.stages != nil
-	sobs := make([]features.SessionObs, 0, len(closed))
-	kept := make([]sessionizer.Closed, 0, len(closed))
+	sobs := s.sobsBuf[:0]
+	kept := s.keptBuf[:0]
 	for _, c := range closed {
 		var t0 time.Time
 		if timed {
@@ -228,16 +243,25 @@ func (s *shard) assess(closed []sessionizer.Closed) []Report {
 		sobs = append(sobs, o)
 		kept = append(kept, c)
 	}
-	reps := s.fw.AnalyzeBatchObs(sobs, s.stages)
-	out := make([]Report, len(reps))
+	s.sobsBuf, s.keptBuf = sobs, kept
+	reps := s.fw.AnalyzeBatchInto(sobs, s.stages, &s.scratch)
+	var out []Report
+	if reuse {
+		out = s.outBuf[:0]
+	} else {
+		out = make([]Report, 0, len(reps))
+	}
 	for i, r := range reps {
-		out[i] = Report{
+		out = append(out, Report{
 			Subscriber: kept[i].Subscriber,
 			Start:      kept[i].Start,
 			End:        kept[i].End,
 			Report:     r,
-		}
+		})
 		s.trace(obs.EvAssess, kept[i].End, kept[i])
+	}
+	if reuse {
+		s.outBuf = out
 	}
 	return out
 }

@@ -290,7 +290,7 @@ func (s *Suite) Grouping() sessionizer.Evaluation {
 func (s *Suite) BaselineBinary() *ml.Confusion {
 	ds := core.BuildBinaryStallDataset(s.Cleartext())
 	cfg := ml.ForestConfig{Trees: s.Scale.Trees, Seed: s.Scale.Seed}
-	return ml.CrossValidate(ds, s.Scale.Folds, cfg, s.Scale.Seed)
+	return ml.CrossValidate(ds, s.Scale.Folds, cfg, s.Scale.Seed, 0)
 }
 
 // ---- Ablations ----
@@ -323,7 +323,7 @@ func (s *Suite) AblationStallWithoutChunkFeatures() (AblationResult, error) {
 		return AblationResult{}, err
 	}
 	cfg := s.trainCfg()
-	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed)
+	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed, 0)
 	return AblationResult{
 		Name:      "stall model without chunk features",
 		Reference: rep.CV.Accuracy(),
@@ -340,7 +340,7 @@ func (s *Suite) AblationStallAllFeatures() (AblationResult, error) {
 	}
 	ds := core.BuildStallDataset(s.Cleartext())
 	cfg := s.trainCfg()
-	cv := ml.CrossValidate(ds, cfg.CVFolds, cfg.Forest, cfg.Seed)
+	cv := ml.CrossValidate(ds, cfg.CVFolds, cfg.Forest, cfg.Seed, 0)
 	return AblationResult{
 		Name:      "stall model on all 70 features (no CFS)",
 		Reference: rep.CV.Accuracy(),
@@ -438,7 +438,7 @@ func (s *Suite) AblationSwitchML() AblationResult {
 		ds.Add(features.RepFeatures(sess.Obs), label)
 	}
 	cfg := s.trainCfg()
-	cv := ml.CrossValidate(ds, cfg.CVFolds, cfg.Forest, cfg.Seed)
+	cv := ml.CrossValidate(ds, cfg.CVFolds, cfg.Forest, cfg.Seed, 0)
 	return AblationResult{
 		Name:      "ML classifier for switch detection (balanced rate)",
 		Reference: (ref.SteadyBelow + ref.VaryingAbove) / 2,

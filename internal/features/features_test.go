@@ -294,3 +294,61 @@ func TestRunningMean(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseMatchesDenseProperty: over randomized sessions and
+// randomized column subsets (including absent columns and repeated
+// metrics), the sparse evaluator must agree bit-for-bit with building
+// the dense vector and projecting it — the property the live predict
+// path relies on to skip the unselected metrics.
+func TestSparseMatchesDenseProperty(t *testing.T) {
+	r := stats.NewRand(91)
+	for trial := 0; trial < 12; trial++ {
+		obs, _ := sessionObs(t, int64(100+trial), trial%2 == 0)
+		for _, schema := range []struct {
+			dense  []float64
+			width  int
+			sparse func(cols []int) *Sparse
+		}{
+			{StallFeatures(obs), len(StallFeatureNames()), NewStallSparse},
+			{RepFeatures(obs), len(RepFeatureNames()), NewRepSparse},
+		} {
+			k := 1 + r.Intn(12)
+			cols := make([]int, k)
+			for i := range cols {
+				if r.Intn(10) == 0 {
+					cols[i] = -1 // absent feature
+				} else {
+					cols[i] = r.Intn(schema.width)
+				}
+			}
+			dst := make([]float64, k)
+			for i := range dst {
+				dst[i] = math.NaN() // stale scratch content must be overwritten
+			}
+			schema.sparse(cols).EvalInto(obs, dst)
+			for i, j := range cols {
+				want := 0.0
+				if j >= 0 {
+					want = schema.dense[j]
+				}
+				if dst[i] != want {
+					t.Fatalf("trial %d col %d (full %d): sparse %v != dense %v",
+						trial, i, j, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseEmptySession: a session with no chunks must produce an
+// all-zero vector, matching the dense builder's N==0 path.
+func TestSparseEmptySession(t *testing.T) {
+	cols := []int{0, 5, 17, 33, -1}
+	dst := []float64{1, 2, 3, 4, 5}
+	NewStallSparse(cols).EvalInto(SessionObs{}, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("dst[%d] = %v, want 0 for empty session", i, v)
+		}
+	}
+}

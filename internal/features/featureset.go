@@ -114,6 +114,81 @@ func buildVector(obs SessionObs, ms []metric, ss []stat) []float64 {
 	return out
 }
 
+// Sparse evaluates a projected subset of a feature schema for the live
+// prediction path: only the metrics the requested columns touch are
+// extracted and summarized, instead of building the full 70- or
+// 210-wide vector and projecting it down to the handful of
+// CFS-selected features. Column j of the full schema decomposes as
+// metric j/len(ss), statistic j%len(ss) (the schema is metric-major;
+// see buildNames).
+type Sparse struct {
+	ms     []metric
+	ss     []stat
+	groups []sparseGroup
+	zeros  []int // dst positions whose column is absent (-1)
+}
+
+// sparseGroup is one metric worth summarizing and the statistics of it
+// the selection wants.
+type sparseGroup struct {
+	metric int
+	emits  []sparseEmit
+}
+
+// sparseEmit writes statistic stat of the group's summary to dst[dst].
+type sparseEmit struct {
+	stat, dst int
+}
+
+// NewStallSparse builds a sparse evaluator over the stall schema:
+// cols[i] is the full-schema column whose value lands in dst[i] of
+// EvalInto (-1 zeroes the slot).
+func NewStallSparse(cols []int) *Sparse { return newSparse(stallMetrics(), stallStats, cols) }
+
+// NewRepSparse is NewStallSparse over the representation schema.
+func NewRepSparse(cols []int) *Sparse { return newSparse(repMetrics(), repStats, cols) }
+
+func newSparse(ms []metric, ss []stat, cols []int) *Sparse {
+	sp := &Sparse{ms: ms, ss: ss}
+	byMetric := make(map[int]int)
+	for i, j := range cols {
+		if j < 0 || j >= len(ms)*len(ss) {
+			sp.zeros = append(sp.zeros, i)
+			continue
+		}
+		m, st := j/len(ss), j%len(ss)
+		gi, ok := byMetric[m]
+		if !ok {
+			gi = len(sp.groups)
+			byMetric[m] = gi
+			sp.groups = append(sp.groups, sparseGroup{metric: m})
+		}
+		sp.groups[gi].emits = append(sp.groups[gi].emits, sparseEmit{stat: st, dst: i})
+	}
+	return sp
+}
+
+// EvalInto writes the selected features of obs into dst, which must
+// have the length of the cols the evaluator was built with. Values are
+// bit-identical to building the dense vector and projecting it.
+func (sp *Sparse) EvalInto(obs SessionObs, dst []float64) {
+	for _, g := range sp.groups {
+		// series closures return fresh slices, so the summary may sort
+		// in place instead of copying
+		sum := stats.SummarizeInPlace(sp.ms[g.metric].series(obs))
+		for _, e := range g.emits {
+			if sum.N == 0 {
+				dst[e.dst] = 0
+				continue
+			}
+			dst[e.dst] = sp.ss[e.stat].apply(sum)
+		}
+	}
+	for _, i := range sp.zeros {
+		dst[i] = 0
+	}
+}
+
 // StallFeatureNames returns the 70 feature names of the stall set
 // (10 metrics × 7 statistics).
 func StallFeatureNames() []string { return buildNames(stallMetrics(), stallStats) }

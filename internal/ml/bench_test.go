@@ -54,6 +54,92 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkForestPredictFlat vs BenchmarkForestPredictPointer isolate
+// the tentpole's inference claim: the same forest queried over a
+// stream of distinct instances (the production shape — every session
+// is a new feature vector, so tree nodes are not L1-resident between
+// queries), slab walk against the original pointer-chasing walk.
+const predictProbes = 512
+
+func BenchmarkForestPredictFlat(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 40, Seed: 1})
+	dist := make([]float64, f.numClasses)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ProbaInto(ds.X[i%predictProbes], dist)
+	}
+}
+
+func BenchmarkForestPredictPointer(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 40, Seed: 1})
+	dist := make([]float64, f.numClasses)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := ds.X[i%predictProbes]
+		for c := range dist {
+			dist[c] = 0
+		}
+		for _, t := range f.Trees {
+			for c, p := range t.probaPointer(x) {
+				dist[c] += p
+			}
+		}
+	}
+}
+
+// BenchmarkForestPredictBatchInto is the engine batch path: an
+// engine-sized (sub-threshold) batch through caller-owned buffers.
+// The acceptance bar is 0 allocs/op.
+func BenchmarkForestPredictBatchInto(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 40, Seed: 1})
+	xs := ds.X[:128]
+	dist := make([]float64, len(xs)*f.numClasses)
+	out := make([]int, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchInto(xs, dist, out)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "instances/s")
+}
+
+// BenchmarkForestPredictBatchParallel crosses the worker-pool
+// threshold: a bulk batch split across the bounded pool.
+func BenchmarkForestPredictBatchParallel(b *testing.B) {
+	ds := benchDataset(4096, 10)
+	f := TrainForest(ds, ForestConfig{Trees: 40, Seed: 1})
+	xs := ds.X
+	dist := make([]float64, len(xs)*f.numClasses)
+	out := make([]int, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchInto(xs, dist, out)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "instances/s")
+}
+
+// BenchmarkTreeInduction measures single-tree induction at forest-node
+// shape (bootstrap-sized sample, √m feature subsample) — the unit of
+// work CrossValidate and CFSSelect repeat hundreds of times.
+func BenchmarkTreeInduction(b *testing.B) {
+	ds := benchDataset(2000, 10)
+	r := stats.NewRand(2)
+	cfg := TreeConfig{MinLeaf: 2, FeaturesPerSplit: 4, MaxThresholds: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainTree(ds, cfg, r)
+	}
+}
+
 func BenchmarkInfoGain(b *testing.B) {
 	ds := benchDataset(2000, 70)
 	b.ResetTimer()
@@ -74,6 +160,6 @@ func BenchmarkCrossValidate(b *testing.B) {
 	ds := benchDataset(1000, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		CrossValidate(ds, 5, ForestConfig{Trees: 10, Seed: 1}, 1)
+		CrossValidate(ds, 5, ForestConfig{Trees: 10, Seed: 1}, 1, 0)
 	}
 }

@@ -2,7 +2,9 @@ package ml
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"vqoe/internal/stats"
 )
@@ -182,21 +184,74 @@ func Evaluate(f *Forest, test *Dataset) *Confusion {
 // fold it balances the training split (undersampling to the minority
 // class, per the paper's protocol), trains a forest and tests on the
 // held-out fold at its natural class distribution. The per-fold
-// matrices are merged.
-func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64) *Confusion {
+// matrices are merged in fold order.
+//
+// Folds run concurrently up to parallelism workers; 0 (or negative)
+// means one per CPU and 1 forces serial execution. Every fold's
+// randomness — balancing and forest seeds — is derived up front from
+// the master seed in fold order, so the merged matrix is identical at
+// every parallelism level (the property TestCrossValidateParallelMatchesSerial
+// locks in). Fold-parallelism is what keeps the retraining loops
+// (qoetrain, CFS candidate evaluation, the Table 3/6 benchmarks) CPU
+// bound instead of serialized on one fold at a time.
+func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism int) *Confusion {
 	r := stats.NewRand(seed)
 	folds := ds.StratifiedFolds(k, r)
-	conf := NewConfusion(ds.Classes)
-	for f := range folds {
+	// per-fold balance seeds, drawn in fold order so execution order
+	// cannot perturb the streams
+	balSeeds := make([]int64, len(folds))
+	for i := range balSeeds {
+		balSeeds[i] = r.Int63()
+	}
+
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(folds) {
+		parallelism = len(folds)
+	}
+
+	confs := make([]*Confusion, len(folds))
+	runFold := func(f int) {
 		trainIdx, testIdx := Split(folds, f)
-		train := ds.Subset(trainIdx).Balance(r)
+		train := ds.Subset(trainIdx).Balance(stats.NewRand(balSeeds[f]))
 		if train.Len() == 0 {
-			continue
+			return
 		}
 		foldCfg := cfg
 		foldCfg.Seed = cfg.Seed + int64(f)
 		forest := TrainForest(train, foldCfg)
-		conf.Merge(Evaluate(forest, ds.Subset(testIdx)))
+		confs[f] = Evaluate(forest, ds.Subset(testIdx))
+	}
+
+	if parallelism <= 1 {
+		for f := range folds {
+			runFold(f)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for f := range jobs {
+					runFold(f)
+				}
+			}()
+		}
+		for f := range folds {
+			jobs <- f
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	conf := NewConfusion(ds.Classes)
+	for _, c := range confs {
+		if c != nil {
+			conf.Merge(c)
+		}
 	}
 	return conf
 }

@@ -113,81 +113,183 @@ func bootstrap(ds *Dataset, r *stats.Rand) *Dataset {
 
 // Predict returns the majority-vote class for one instance.
 func (f *Forest) Predict(x []float64) int {
+	var dist [maxInlineClasses]float64
+	if f.numClasses <= maxInlineClasses {
+		return argmax(f.accumulate(x, dist[:f.numClasses]))
+	}
 	return argmax(f.Proba(x))
 }
 
+// maxInlineClasses bounds the stack-allocated distribution Predict
+// uses; every model in this repo has ≤ 4 classes.
+const maxInlineClasses = 8
+
 // Proba returns the mean class distribution over all trees.
 func (f *Forest) Proba(x []float64) []float64 {
-	dist := make([]float64, f.numClasses)
+	return f.ProbaInto(x, make([]float64, f.numClasses))
+}
+
+// ProbaInto is Proba with a caller-owned output buffer: dist must have
+// length numClasses (= len(Classes)) and is returned normalized. It
+// performs no allocations.
+func (f *Forest) ProbaInto(x []float64, dist []float64) []float64 {
+	dist = f.accumulate(x, dist)
+	// true division, not multiplication by a reciprocal: Proba must be
+	// bit-identical to the pointer-walk reference accumulation
+	n := float64(len(f.Trees))
+	for c := range dist {
+		dist[c] /= n
+	}
+	return dist
+}
+
+// accumulate sums the leaf distributions of every tree into dist
+// (unnormalized votes).
+func (f *Forest) accumulate(x []float64, dist []float64) []float64 {
+	for c := range dist {
+		dist[c] = 0
+	}
+	nc := int32(f.numClasses)
 	for _, t := range f.Trees {
-		for c, p := range t.Proba(x) {
+		ft := t.flat
+		if ft == nil {
+			for c, p := range t.probaPointer(x) {
+				dist[c] += p
+			}
+			continue
+		}
+		off := ft.leafOff(x)
+		leaf := ft.dists[off : off+nc]
+		for c, p := range leaf {
 			dist[c] += p
 		}
-	}
-	for c := range dist {
-		dist[c] /= float64(len(f.Trees))
 	}
 	return dist
 }
 
 // PredictBatch classifies a batch of instances in tree-major order:
 // every tree is walked over the full batch before moving to the next,
-// so a tree's nodes stay hot in cache across the batch instead of the
-// whole ensemble being re-faulted per instance. This is the inference
-// entry point for the live engine, which accumulates finished sessions
-// and classifies them together.
+// so a tree's node slab stays hot in cache across the batch instead of
+// the whole ensemble being re-faulted per instance.
 func (f *Forest) PredictBatch(xs [][]float64) []int {
 	if len(xs) == 0 {
 		return nil
 	}
+	return f.PredictBatchInto(xs, make([]float64, len(xs)*f.numClasses), make([]int, len(xs)))
+}
+
+// batchChunk is the smallest instance range one batch worker takes;
+// batches below twice this size run serially on the caller goroutine
+// and perform zero allocations, which is the live engine's steady
+// state (a shard's mailbox batch closes tens of sessions, not
+// thousands).
+const batchChunk = 256
+
+// PredictBatchInto is PredictBatch with caller-owned buffers: dist
+// must have length ≥ len(xs)·numClasses and out length ≥ len(xs). It
+// returns out[:len(xs)]. Sub-threshold batches allocate nothing;
+// larger batches are split into instance ranges walked tree-major by a
+// bounded worker pool (disjoint slices of dist/out, no merging).
+func (f *Forest) PredictBatchInto(xs [][]float64, dist []float64, out []int) []int {
+	n := len(xs)
+	out = out[:n]
+	if n == 0 {
+		return out
+	}
+	dist = dist[:n*f.numClasses]
+	workers := n / batchChunk
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		f.predictRange(xs, dist, out)
+		return out
+	}
+	// slices are passed as arguments (not captured) so the serial path
+	// above stays allocation-free: a captured dist/out would be moved
+	// to the heap at function entry regardless of the branch taken
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
 	nc := f.numClasses
-	dist := make([]float64, len(xs)*nc)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(xs [][]float64, dist []float64, out []int) {
+			defer wg.Done()
+			f.predictRange(xs, dist, out)
+		}(xs[lo:hi], dist[lo*nc:hi*nc], out[lo:hi])
+	}
+	wg.Wait()
+	return out
+}
+
+// predictRange is the serial tree-major kernel: votes for xs are
+// accumulated into dist (len(xs)·numClasses, overwritten) and the
+// argmax classes written to out (len(xs)).
+func (f *Forest) predictRange(xs [][]float64, dist []float64, out []int) {
+	for i := range dist {
+		dist[i] = 0
+	}
+	nc := int32(f.numClasses)
 	for _, t := range f.Trees {
+		ft := t.flat
+		if ft == nil {
+			for i, x := range xs {
+				row := dist[i*int(nc) : (i+1)*int(nc)]
+				for c, p := range t.probaPointer(x) {
+					row[c] += p
+				}
+			}
+			continue
+		}
 		for i, x := range xs {
-			row := dist[i*nc : (i+1)*nc]
-			for c, p := range t.Proba(x) {
+			off := ft.leafOff(x)
+			leaf := ft.dists[off : off+nc]
+			row := dist[int32(i)*nc : (int32(i)+1)*nc]
+			for c, p := range leaf {
 				row[c] += p
 			}
 		}
 	}
-	out := make([]int, len(xs))
+	inc := int(nc)
 	for i := range out {
-		out[i] = argmax(dist[i*nc : (i+1)*nc])
+		out[i] = argmax(dist[i*inc : (i+1)*inc])
 	}
-	return out
 }
 
 // PredictAll classifies every instance of ds and returns the
-// predictions in row order.
+// predictions in row order. Work is split across CPUs in contiguous
+// ranges, each walked with the tree-major batch kernel.
 func (f *Forest) PredictAll(ds *Dataset) []int {
-	out := make([]int, ds.Len())
+	n := ds.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > ds.Len() {
-		workers = ds.Len()
+	if workers > (n+batchChunk-1)/batchChunk {
+		workers = (n + batchChunk - 1) / batchChunk
 	}
 	if workers <= 1 {
-		for i, x := range ds.X {
-			out[i] = f.Predict(x)
-		}
+		f.predictRange(ds.X, make([]float64, n*f.numClasses), out)
 		return out
 	}
 	var wg sync.WaitGroup
-	chunk := (ds.Len() + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
+		hi := min(lo+chunk, n)
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = f.Predict(ds.X[i])
-			}
+			f.predictRange(ds.X[lo:hi], make([]float64, (hi-lo)*f.numClasses), out[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

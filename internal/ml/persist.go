@@ -86,7 +86,11 @@ func LoadForest(r io.Reader) (*Forest, error) {
 		if d == nil {
 			return nil, fmt.Errorf("ml: forest tree %d is empty", i)
 		}
-		f.Trees[i] = &Tree{root: fromDTO(d), numClasses: len(dto.Classes)}
+		t := &Tree{root: fromDTO(d), numClasses: len(dto.Classes)}
+		// the wire format stays pointer-shaped (gob-friendly); the flat
+		// slabs the prediction paths walk are rebuilt on load
+		t.flat = compile(t.root, t.numClasses)
+		f.Trees[i] = t
 	}
 	return f, nil
 }

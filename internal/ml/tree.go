@@ -1,7 +1,8 @@
 package ml
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"vqoe/internal/stats"
 )
@@ -23,6 +24,7 @@ type TreeConfig struct {
 // Tree is a trained CART classification tree.
 type Tree struct {
 	root       *node
+	flat       *flatTree
 	numClasses int
 }
 
@@ -36,7 +38,35 @@ type node struct {
 	dist []float64 // class probability distribution
 }
 
-// TrainTree induces a CART tree on ds using Gini impurity.
+// scratch is the per-tree induction arena: every buffer bestSplit and
+// build need is allocated once at the root and reused down the whole
+// recursion, so induction cost is sorting and counting, not GC.
+type scratch struct {
+	pairs       []vy  // (value, label) column buffer, sorted per feature
+	features    []int // candidate feature ids, reshuffled per node
+	counts      []int // class counts of the current node
+	leftCounts  []int
+	rightCounts []int
+}
+
+// vy is one (feature value, label) pair of a node's column.
+type vy struct {
+	v float64
+	y int32
+}
+
+func newScratch(n, m, nc int) *scratch {
+	return &scratch{
+		pairs:       make([]vy, n),
+		features:    make([]int, m),
+		counts:      make([]int, nc),
+		leftCounts:  make([]int, nc),
+		rightCounts: make([]int, nc),
+	}
+}
+
+// TrainTree induces a CART tree on ds using Gini impurity and compiles
+// it into the flat structure-of-arrays form the prediction paths walk.
 func TrainTree(ds *Dataset, cfg TreeConfig, r *stats.Rand) *Tree {
 	if cfg.MinLeaf < 1 {
 		cfg.MinLeaf = 1
@@ -46,39 +76,53 @@ func TrainTree(ds *Dataset, cfg TreeConfig, r *stats.Rand) *Tree {
 		idx[i] = i
 	}
 	t := &Tree{numClasses: ds.NumClasses()}
-	t.root = build(ds, idx, cfg, r, 0)
+	sc := newScratch(ds.Len(), ds.NumFeatures(), ds.NumClasses())
+	t.root = build(ds, idx, cfg, r, 0, sc)
+	t.flat = compile(t.root, t.numClasses)
 	return t
 }
 
-func build(ds *Dataset, idx []int, cfg TreeConfig, r *stats.Rand, depth int) *node {
-	counts := classCounts(ds, idx)
+// build grows the subtree over the instances in idx. It owns idx and
+// partitions it in place — children recurse into disjoint subslices of
+// the same backing array, so induction never allocates index slices
+// past the root.
+func build(ds *Dataset, idx []int, cfg TreeConfig, r *stats.Rand, depth int, sc *scratch) *node {
+	counts := sc.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, i := range idx {
+		counts[ds.Y[i]]++
+	}
 	if len(idx) < 2*cfg.MinLeaf ||
 		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) ||
 		pure(counts) {
 		return leafNode(counts, len(idx))
 	}
 
-	feat, thresh, ok := bestSplit(ds, idx, counts, cfg, r)
+	feat, thresh, ok := bestSplit(ds, idx, counts, cfg, r, sc)
 	if !ok {
 		return leafNode(counts, len(idx))
 	}
 
-	var left, right []int
-	for _, i := range idx {
-		if ds.X[i][feat] <= thresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	// in-place partition: order within a side is irrelevant (children
+	// re-sort columns and re-count), so a swap pass suffices
+	k := 0
+	for i, ix := range idx {
+		if ds.X[ix][feat] <= thresh {
+			idx[i], idx[k] = idx[k], idx[i]
+			k++
 		}
 	}
+	left, right := idx[:k], idx[k:]
 	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
 		return leafNode(counts, len(idx))
 	}
 	return &node{
 		feature:   feat,
 		threshold: thresh,
-		left:      build(ds, left, cfg, r, depth+1),
-		right:     build(ds, right, cfg, r, depth+1),
+		left:      build(ds, left, cfg, r, depth+1, sc),
+		right:     build(ds, right, cfg, r, depth+1, sc),
 	}
 }
 
@@ -90,14 +134,6 @@ func leafNode(counts []int, n int) *node {
 		}
 	}
 	return &node{leaf: true, dist: dist}
-}
-
-func classCounts(ds *Dataset, idx []int) []int {
-	counts := make([]int, ds.NumClasses())
-	for _, i := range idx {
-		counts[ds.Y[i]]++
-	}
-	return counts
 }
 
 func pure(counts []int) bool {
@@ -123,10 +159,11 @@ func gini(counts []int, n int) float64 {
 }
 
 // bestSplit scans candidate (feature, threshold) pairs and returns the
-// one with the lowest weighted child Gini impurity.
-func bestSplit(ds *Dataset, idx []int, parentCounts []int, cfg TreeConfig, r *stats.Rand) (feat int, thresh float64, ok bool) {
+// one with the lowest weighted child Gini impurity. All working memory
+// comes from the per-tree scratch arena.
+func bestSplit(ds *Dataset, idx []int, parentCounts []int, cfg TreeConfig, r *stats.Rand, sc *scratch) (feat int, thresh float64, ok bool) {
 	m := ds.NumFeatures()
-	features := make([]int, m)
+	features := sc.features[:m]
 	for i := range features {
 		features[i] = i
 	}
@@ -140,19 +177,14 @@ func bestSplit(ds *Dataset, idx []int, parentCounts []int, cfg TreeConfig, r *st
 	best := parentGini - 1e-12 // must strictly improve
 	ok = false
 
-	type vy struct {
-		v float64
-		y int
-	}
-	pairs := make([]vy, n)
-	leftCounts := make([]int, ds.NumClasses())
-	rightCounts := make([]int, ds.NumClasses())
+	pairs := sc.pairs[:n]
+	leftCounts, rightCounts := sc.leftCounts, sc.rightCounts
 
 	for _, f := range features {
 		for i, ix := range idx {
-			pairs[i] = vy{ds.X[ix][f], ds.Y[ix]}
+			pairs[i] = vy{ds.X[ix][f], int32(ds.Y[ix])}
 		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		slices.SortFunc(pairs, func(a, b vy) int { return cmp.Compare(a.v, b.v) })
 		if pairs[0].v == pairs[n-1].v {
 			continue // constant feature on this node
 		}
@@ -193,8 +225,19 @@ func (t *Tree) Predict(x []float64) int {
 }
 
 // Proba returns the class probability distribution at the leaf the
-// instance falls into.
+// instance falls into. The returned slice aliases the tree's leaf slab
+// and must not be mutated.
 func (t *Tree) Proba(x []float64) []float64 {
+	if t.flat == nil {
+		return t.probaPointer(x)
+	}
+	off := t.flat.leafOff(x)
+	return t.flat.dists[off : off+int32(t.numClasses)]
+}
+
+// probaPointer is the original pointer-chasing walk, kept as the
+// reference implementation the flat layout is property-tested against.
+func (t *Tree) probaPointer(x []float64) []float64 {
 	n := t.root
 	for !n.leaf {
 		if x[n.feature] <= n.threshold {

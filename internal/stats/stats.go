@@ -32,13 +32,21 @@ type Summary struct {
 // that subsequent Percentile calls are O(1); xs itself is not modified.
 // Summarizing an empty sample yields a zero Summary with N == 0.
 func Summarize(xs []float64) Summary {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	return SummarizeInPlace(sorted)
+}
+
+// SummarizeInPlace is Summarize for callers that own xs: the sample is
+// sorted in place and becomes the Summary's backing (no copy). Results
+// are bit-identical to Summarize of the same values.
+func SummarizeInPlace(xs []float64) Summary {
 	var s Summary
 	s.N = len(xs)
 	if s.N == 0 {
 		return s
 	}
-	s.sorted = make([]float64, s.N)
-	copy(s.sorted, xs)
+	s.sorted = xs
 	sort.Float64s(s.sorted)
 	s.Min = s.sorted[0]
 	s.Max = s.sorted[s.N-1]

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR-4 performance suite and emit BENCH_PR4.json.
+#
+# Covers the three layers the flattened-inference work touches:
+#   - internal/ml forest benchmarks (flat vs pointer walk, batch
+#     kernel, tree induction)
+#   - the live engine ingest benchmark at the acceptance shape
+#     (subs=128 / shards=4)
+#   - the Table-3 cleartext stall experiment (train + 10-fold CV)
+#
+# Usage: scripts/bench.sh [output.json]
+# The JSON maps benchmark name -> {ns_op, allocs_op, bytes_op, extra}
+# where extra carries the benchmark's custom metric (entries/s,
+# instances/s, acc%) when one is reported.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== ml forest/induction benchmarks" >&2
+go test -run xxx -bench 'ForestPredictFlat$|ForestPredictPointer$|ForestPredictBatchInto$|ForestPredictBatchParallel$|TreeInduction$|TrainTree$' \
+    -benchmem -count=1 -timeout 20m ./internal/ml/ | tee -a "$tmp" >&2
+
+echo "== engine ingest + Table 3 benchmarks" >&2
+go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|Table3StallCleartext$' \
+    -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
+
+# Parse `go test -bench` lines into JSON. A line looks like:
+#   BenchmarkName-8  100  12345 ns/op  67 extra/unit  890 B/op  12 allocs/op
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; extra = ""; extraname = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") bytes = $i
+        else if ($(i + 1) == "allocs/op") allocs = $i
+        else if ($(i + 1) ~ /\//) { extra = $i; extraname = $(i + 1) }
+        else if ($(i + 1) == "acc%") { extra = $i; extraname = "acc%" }
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_op\": %s", name, (ns == "" ? "null" : ns)
+    printf ", \"bytes_op\": %s", (bytes == "" ? "null" : bytes)
+    printf ", \"allocs_op\": %s", (allocs == "" ? "null" : allocs)
+    if (extra != "") printf ", \"%s\": %s", extraname, extra
+    printf "}"
+}
+END { print "\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
