@@ -19,6 +19,7 @@ import (
 	"vqoe/internal/obs"
 	"vqoe/internal/packet"
 	"vqoe/internal/pipeline"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/stats"
 	"vqoe/internal/workload"
@@ -454,6 +455,41 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 					cfg.Obs = obs.NewObserver(shards, 0)
 				} else {
 					cfg.Obs = nil
+				}
+				eng := engine.New(fw, cfg, func(engine.Report) {})
+				live.Feed(shards, 256, eng.Feed)
+				eng.Drain()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
+}
+
+// BenchmarkQualityOverhead measures what the model-quality monitor
+// costs on the engine's hot path: the same live stream as
+// BenchmarkEngineIngest, with the per-shard drift/calibration
+// accumulators either attached (quality=on) or left nil (quality=off).
+// The acceptance bar is <=2% on entries/s; the measured delta is
+// recorded in EXPERIMENTS.md.
+func BenchmarkQualityOverhead(b *testing.B) {
+	const subs, shards = 128, 4
+	for _, on := range []bool{false, true} {
+		name := "quality=off"
+		if on {
+			name = "quality=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			fw, live := liveFixture(b, subs)
+			cfg := engine.DefaultConfig()
+			cfg.Shards = shards
+			cfg.Mailbox = 1024
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if on {
+					cfg.Quality = core.NewQualityMonitor(fw, shards, qualitymon.Thresholds{})
+				} else {
+					cfg.Quality = nil
 				}
 				eng := engine.New(fw, cfg, func(engine.Report) {})
 				live.Feed(shards, 256, eng.Feed)

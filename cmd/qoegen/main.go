@@ -14,6 +14,13 @@
 //
 //	qoegen -kind live -subscribers 200 -n 3 -format jsonl | \
 //	    curl -s --data-binary @- http://127.0.0.1:8080/ingest
+//
+// With -label-rate the live stream also carries the delayed
+// ground-truth side-channel: for that fraction of sessions a
+// {"type":"label",...} line is interleaved at the (capture-clock) time
+// the label would become available, so the model-quality monitor can
+// measure online accuracy. -drift skews the population onto degraded
+// network paths — a feature-drift scenario the monitor should flag.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strconv"
 
 	"vqoe/internal/features"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/workload"
 )
 
@@ -37,6 +45,9 @@ func main() {
 		format      = flag.String("format", "csv", "output format: csv (feature vectors) or jsonl (weblog entries)")
 		set         = flag.String("set", "stall", "feature set for csv output: stall or rep")
 		subscribers = flag.Int("subscribers", 64, "concurrent subscriber population for -kind live")
+		labelRate   = flag.Float64("label-rate", 0, "fraction of live sessions that emit a delayed ground-truth label line")
+		labelDelay  = flag.Float64("label-delay", 120, "mean extra label delay in seconds for -kind live")
+		drift       = flag.Bool("drift", false, "skew the live population onto degraded network paths (feature-drift scenario)")
 	)
 	flag.Parse()
 
@@ -45,6 +56,11 @@ func main() {
 		lcfg.Subscribers = *subscribers
 		lcfg.SessionsPerSubscriber = *n
 		lcfg.Seed = *seed
+		lcfg.LabelRate = *labelRate
+		lcfg.LabelDelayMeanSec = *labelDelay
+		if *drift {
+			lcfg.ProfileWeights = [3]float64{0.05, 0.15, 0.8}
+		}
 		if err := writeLiveJSONL(workload.GenerateLive(lcfg)); err != nil {
 			fmt.Fprintln(os.Stderr, "qoegen:", err)
 			os.Exit(1)
@@ -133,12 +149,39 @@ func writeCSV(out *bufio.Writer, corpus *workload.Corpus, set string) error {
 	return w.Error()
 }
 
+// writeLiveJSONL merges the entry stream (by timestamp) with the label
+// side-channel (by availability time) into one time-ordered JSONL
+// stream — the interleaving a monitor would see live, where a
+// session's truth arrives well after its traffic.
 func writeLiveJSONL(live *workload.Live) error {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
+	li := 0
+	emitLabel := func(l workload.SessionLabel) error {
+		return enc.Encode(qualitymon.Label{
+			Type:        qualitymon.LabelType,
+			Subscriber:  l.Subscriber,
+			Start:       l.Start,
+			End:         l.End,
+			AvailableAt: l.AvailableAt,
+			Stall:       int(l.Stall),
+			Rep:         int(l.Rep),
+		})
+	}
 	for _, e := range live.Entries {
+		for li < len(live.Labels) && live.Labels[li].AvailableAt <= e.Timestamp {
+			if err := emitLabel(live.Labels[li]); err != nil {
+				return err
+			}
+			li++
+		}
 		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	for ; li < len(live.Labels); li++ {
+		if err := emitLabel(live.Labels[li]); err != nil {
 			return err
 		}
 	}

@@ -6,7 +6,11 @@
 //	GET  /metrics        Prometheus exposition: QoE aggregates, per-shard
 //	                     engine gauges, stage-latency histograms, runtime
 //	GET  /healthz        liveness
+//	POST /labels         delayed ground-truth labels (JSONL) for the
+//	                     model-quality monitor
 //	GET  /debug/sessions live per-shard open-session snapshot
+//	GET  /debug/quality  model-quality health: feature drift (PSI),
+//	                     calibration, online accuracy, degradation flags
 //	GET  /debug/trace    session lifecycle as Chrome trace JSON
 //	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
@@ -38,6 +42,7 @@ import (
 	"vqoe/internal/engine"
 	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/workload"
 )
 
@@ -54,6 +59,8 @@ func main() {
 		traceCap  = flag.Int("trace-buf", 0, "per-shard lifecycle trace ring capacity (0 = default)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
+		psiMax    = flag.Float64("psi-threshold", 0, "PSI above which a feature (or the prediction prior) counts as drifted (0 = default 0.2)")
+		accDrop   = flag.Float64("accuracy-drop", 0, "online-accuracy drop (fraction) that flags degradation (0 = default 0.05)")
 	)
 	flag.Parse()
 
@@ -82,6 +89,7 @@ func main() {
 		Pprof:    *pprofOn,
 		TraceCap: *traceCap,
 		Logger:   log,
+		Quality:  qualitymon.Thresholds{PSI: *psiMax, AccuracyDrop: *accDrop},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -124,15 +132,21 @@ func buildFramework(stallPath, repPath string, trainN int, seed int64, logf func
 		}, nil
 	}
 	logf("training on synthetic corpus", "sessions", trainN)
-	clearCfg := workload.DefaultConfig(trainN)
-	clearCfg.Seed = seed
+	// train on the traffic the live engine serves — encrypted adaptive
+	// streams — so the quality monitor's baseline describes the live
+	// population rather than flagging a train/serve mismatch at once
+	stallCfg := workload.DefaultConfig(trainN)
+	stallCfg.AdaptiveFraction = 1
+	stallCfg.Encrypted = true
+	stallCfg.Seed = seed
 	hasCfg := workload.DefaultConfig(trainN / 2)
 	hasCfg.AdaptiveFraction = 1
+	hasCfg.Encrypted = true
 	hasCfg.Seed = seed + 1
 	tcfg := core.DefaultTrainConfig()
 	tcfg.CVFolds = 3
 	tcfg.Forest.Trees = 30
-	fw, _, err := core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+	fw, _, err := core.TrainFramework(workload.Generate(stallCfg), workload.Generate(hasCfg), tcfg)
 	return fw, err
 }
 

@@ -13,10 +13,17 @@
 // served for this process, including the vqoe_stage_duration_seconds
 // pipeline-latency histograms (the serial path reports as shard 0), so
 // batch and live tooling share one instrumentation surface.
+//
+// The stream may interleave {"type":"label",...} lines (the delayed
+// ground-truth side-channel qoegen -label-rate emits); qoewatch feeds
+// them to the model-quality monitor and closes with a model-health
+// summary — feature drift vs the training baseline, calibration, and
+// online accuracy — flagging any tripped degradation threshold.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +35,7 @@ import (
 	"vqoe/internal/core"
 	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/weblog"
 	"vqoe/internal/workload"
 )
@@ -66,6 +74,10 @@ func main() {
 	metrics.AttachStages(func() []obs.StageSetSnapshot {
 		return []obs.StageSetSnapshot{stages.Snapshot()}
 	})
+	// model-quality monitor over the same serial path (pseudo-shard 0)
+	qm := core.NewQualityMonitor(fw, 1, qualitymon.Thresholds{})
+	an.SetQuality(qm)
+	metrics.AttachQuality(qm.Snapshot)
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
@@ -81,10 +93,26 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
-	var lines, emitted int
+	var lines, emitted, labels int
+	typeProbe := []byte(`"type"`)
 	for in.Scan() {
 		if len(in.Bytes()) == 0 {
 			continue
+		}
+		if bytes.Contains(in.Bytes(), typeProbe) {
+			var probe struct {
+				Type string `json:"type"`
+			}
+			if json.Unmarshal(in.Bytes(), &probe) == nil && probe.Type == qualitymon.LabelType {
+				var l qualitymon.Label
+				if err := json.Unmarshal(in.Bytes(), &l); err != nil {
+					log.Warn("skipping malformed label line", "err", err)
+					continue
+				}
+				labels++
+				an.ObserveLabel(l)
+				continue
+			}
 		}
 		var e weblog.Entry
 		if err := json.Unmarshal(in.Bytes(), &e); err != nil {
@@ -106,8 +134,36 @@ func main() {
 		metrics.ObserveReport(rep)
 		emitted += printReport(out, rep, *quietOK)
 	}
+	sn := qm.Snapshot()
 	fmt.Fprintf(out, "-- %d entries, %d session reports\n", lines, emitted)
-	log.Debug("stream finished", "entries", lines, "reports", emitted)
+	if labels > 0 {
+		// matched from the monitor, not ObserveLabel's return: a label
+		// that arrives before its session closes is buffered and only
+		// matches when the prediction lands (possibly at Flush)
+		fmt.Fprintf(out, "-- %d ground-truth labels, %d matched\n", labels, sn.Labels.Matched)
+	}
+	printModelHealth(out, sn)
+	log.Debug("stream finished", "entries", lines, "reports", emitted, "labels", labels)
+}
+
+// printModelHealth renders the closing model-health summary: one line
+// per classifier plus one per tripped degradation threshold.
+func printModelHealth(w io.Writer, sn qualitymon.Snapshot) {
+	for _, ms := range sn.Models {
+		fmt.Fprintf(w, "-- model %s: %s", ms.Name, ms.Status)
+		if ms.HasBaseline && ms.Samples > 0 {
+			fmt.Fprintf(w, " (max PSI %.3f on %s", ms.MaxPSI, ms.MaxPSIFeature)
+			if ms.Labeled > 0 {
+				fmt.Fprintf(w, ", online accuracy %.1f%% over %d labels vs %.1f%% baseline",
+					100*ms.OnlineAccuracy, ms.Labeled, 100*ms.BaselineAccuracy)
+			}
+			fmt.Fprint(w, ")")
+		}
+		fmt.Fprintln(w)
+		for _, r := range ms.Reasons {
+			fmt.Fprintf(w, "--   degraded: %s\n", r)
+		}
+	}
 }
 
 func printReport(w io.Writer, rep pipeline.SessionReport, problemsOnly bool) int {
@@ -141,15 +197,21 @@ func buildFramework(trainN int, seed int64, stallPath, repPath string, log *slog
 		}, nil
 	}
 	log.Info("no model files given; training on synthetic corpus", "sessions", trainN)
-	clearCfg := workload.DefaultConfig(trainN)
-	clearCfg.Seed = seed
+	// train on the traffic this tool serves — encrypted adaptive
+	// streams — so the quality monitor's baseline describes the live
+	// population rather than flagging a train/serve mismatch at once
+	stallCfg := workload.DefaultConfig(trainN)
+	stallCfg.AdaptiveFraction = 1
+	stallCfg.Encrypted = true
+	stallCfg.Seed = seed
 	hasCfg := workload.DefaultConfig(trainN / 2)
 	hasCfg.AdaptiveFraction = 1
+	hasCfg.Encrypted = true
 	hasCfg.Seed = seed + 1
 	tcfg := core.DefaultTrainConfig()
 	tcfg.CVFolds = 3
 	tcfg.Forest.Trees = 30
-	fw, _, err := core.TrainFramework(workload.Generate(clearCfg), workload.Generate(hasCfg), tcfg)
+	fw, _, err := core.TrainFramework(workload.Generate(stallCfg), workload.Generate(hasCfg), tcfg)
 	return fw, err
 }
 

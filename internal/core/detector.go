@@ -6,6 +6,7 @@ import (
 
 	"vqoe/internal/features"
 	"vqoe/internal/ml"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/stats"
 	"vqoe/internal/workload"
 )
@@ -133,10 +134,18 @@ func Train(ds *ml.Dataset, cfg TrainConfig) (*Detector, *TrainReport, error) {
 		gains[i] = ml.RankedFeature{Name: n, Gain: gainByName[n]}
 	}
 
-	cv := ml.CrossValidate(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed, 0)
+	// calibrated CV: same folds, seeds, and confusion matrix as the
+	// plain CrossValidate, plus the held-out confidence/correctness
+	// curve the quality monitor compares live calibration against
+	cv, cal := ml.CrossValidateCalibrated(reduced, cfg.CVFolds, cfg.Forest, cfg.Seed, 0, qualitymon.ConfBins)
 
 	finalTrain := reduced.Balance(stats.NewRand(cfg.Seed + 1))
 	forest := ml.TrainForest(finalTrain, cfg.Forest)
+	// the drift baseline sketches the corpus at its natural class
+	// distribution (reduced, not the balanced finalTrain): serve-time
+	// traffic arrives unbalanced, and PSI must compare like with like
+	forest.Baseline = qualitymon.CaptureBaseline(selected, reduced.X, reduced.Y, reduced.Classes, qualitymon.DefaultBins)
+	forest.Baseline.Calibration = *cal
 
 	det := &Detector{
 		Forest:   forest,
@@ -168,6 +177,33 @@ func (d *Detector) Evaluate(ds *ml.Dataset) (*ml.Confusion, error) {
 // schema.
 func (d *Detector) predictVector(raw []float64) int {
 	return d.Forest.Predict(d.project(raw, nil))
+}
+
+// predictVectorConf is predictVector plus the forest's top-vote
+// confidence; the class always equals predictVector's.
+func (d *Detector) predictVectorConf(raw []float64) (int, float64) {
+	return d.Forest.PredictConf(d.project(raw, nil))
+}
+
+// confidences derives per-instance top-vote confidences from the vote
+// distributions a predictBatchInto call left in the scratch, appending
+// nothing the class path didn't already compute. out is grown as
+// needed and returned with one confidence per instance.
+func (d *Detector) confidences(s *PredictScratch, n int, out []float64) []float64 {
+	out = grow(out, n)
+	nc := len(d.Forest.Classes)
+	nTrees := float64(len(d.Forest.Trees))
+	for i := 0; i < n; i++ {
+		row := s.dist[i*nc : (i+1)*nc]
+		best := row[0]
+		for _, v := range row[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		out[i] = best / nTrees
+	}
+	return out
 }
 
 // PredictScratch holds the reusable buffers one caller (e.g. an
@@ -355,6 +391,12 @@ func (d *StallDetector) Predict(obs features.SessionObs) features.StallLabel {
 	return features.StallLabel(d.predictVector(features.StallFeatures(obs)))
 }
 
+// PredictConf is Predict plus the forest's top-vote confidence.
+func (d *StallDetector) PredictConf(obs features.SessionObs) (features.StallLabel, float64) {
+	c, conf := d.predictVectorConf(features.StallFeatures(obs))
+	return features.StallLabel(c), conf
+}
+
 // PredictBatch classifies many sessions' stalling levels in one
 // tree-major forest pass.
 func (d *StallDetector) PredictBatch(obs []features.SessionObs) []features.StallLabel {
@@ -410,6 +452,12 @@ func TrainRepresentation(c *workload.Corpus, cfg TrainConfig) (*RepresentationDe
 // Predict classifies one session's average representation.
 func (d *RepresentationDetector) Predict(obs features.SessionObs) features.RepLabel {
 	return features.RepLabel(d.predictVector(features.RepFeatures(obs)))
+}
+
+// PredictConf is Predict plus the forest's top-vote confidence.
+func (d *RepresentationDetector) PredictConf(obs features.SessionObs) (features.RepLabel, float64) {
+	c, conf := d.predictVectorConf(features.RepFeatures(obs))
+	return features.RepLabel(c), conf
 }
 
 // PredictBatch classifies many sessions' average representations in

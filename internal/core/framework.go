@@ -56,6 +56,10 @@ func TrainFramework(stallCorpus, repCorpus *workload.Corpus, cfg TrainConfig) (*
 type Report struct {
 	Stall          features.StallLabel
 	Representation features.RepLabel
+	// StallConf and RepConf are each forest's top-vote confidence for
+	// its prediction (winning class's fraction of the tree votes).
+	StallConf      float64
+	RepConf        float64
 	SwitchVariance bool
 	SwitchScore    float64
 	Chunks         int
@@ -73,18 +77,18 @@ func (f *Framework) Analyze(obs features.SessionObs) Report {
 // but skipping the clock reads keeps the uninstrumented path exact).
 func (f *Framework) AnalyzeObs(o features.SessionObs, set *obs.StageSet) Report {
 	if set == nil {
-		return Report{
-			Stall:          f.Stall.Predict(o),
-			Representation: f.Rep.Predict(o),
-			SwitchVariance: f.Switch.Detect(o),
-			SwitchScore:    f.Switch.Score(o),
-			Chunks:         o.Len(),
-		}
+		var r Report
+		r.Stall, r.StallConf = f.Stall.PredictConf(o)
+		r.Representation, r.RepConf = f.Rep.PredictConf(o)
+		r.SwitchScore = f.Switch.Score(o)
+		r.SwitchVariance = r.SwitchScore > f.Switch.Threshold
+		r.Chunks = o.Len()
+		return r
 	}
 	var r Report
 	t0 := time.Now()
-	r.Stall = f.Stall.Predict(o)
-	r.Representation = f.Rep.Predict(o)
+	r.Stall, r.StallConf = f.Stall.PredictConf(o)
+	r.Representation, r.RepConf = f.Rep.PredictConf(o)
 	set.ObserveSince(obs.StageForest, t0)
 	t0 = time.Now()
 	// Detect is a threshold on Score; compute the CUSUM chart once.
@@ -119,8 +123,9 @@ func (f *Framework) AnalyzeBatchObs(o []features.SessionObs, set *obs.StageSet) 
 // once the buffers have grown to the working-set size. The zero value
 // is ready; a scratch is single-goroutine.
 type AnalyzeScratch struct {
-	stall, rep PredictScratch
-	reports    []Report
+	stall, rep         PredictScratch
+	stallConf, repConf []float64
+	reports            []Report
 }
 
 // AnalyzeBatchInto is AnalyzeBatchObs with caller-owned buffers: the
@@ -129,15 +134,30 @@ type AnalyzeScratch struct {
 // when it wraps them in engine.Reports). A nil sc makes this identical
 // to AnalyzeBatchObs.
 func (f *Framework) AnalyzeBatchInto(o []features.SessionObs, set *obs.StageSet, sc *AnalyzeScratch) []Report {
+	return f.AnalyzeBatchQuality(o, set, sc, nil)
+}
+
+// AnalyzeBatchQuality is AnalyzeBatchInto with the model-quality
+// monitor attached: each session's projected feature vectors,
+// predicted classes, and vote confidences are fed into the hook's
+// per-shard accumulators, and the switch score into its score
+// histogram. Reports are identical to AnalyzeBatchInto's (the hook
+// only observes). A nil hook (or hook monitor) skips all of it.
+func (f *Framework) AnalyzeBatchQuality(o []features.SessionObs, set *obs.StageSet, sc *AnalyzeScratch, qh *QualityHook) []Report {
 	if len(o) == 0 {
 		return nil
 	}
 	if sc == nil {
 		sc = new(AnalyzeScratch)
 	}
+	if qh != nil && qh.Monitor == nil {
+		qh = nil
+	}
 	t0 := time.Now()
 	stalls := f.Stall.predictBatchInto(o, &sc.stall)
 	reps := f.Rep.predictBatchInto(o, &sc.rep)
+	sc.stallConf = f.Stall.confidences(&sc.stall, len(o), sc.stallConf)
+	sc.repConf = f.Rep.confidences(&sc.rep, len(o), sc.repConf)
 	if set != nil {
 		set.ObserveSince(obs.StageForest, t0)
 		t0 = time.Now()
@@ -149,9 +169,18 @@ func (f *Framework) AnalyzeBatchInto(o []features.SessionObs, set *obs.StageSet,
 		out[i] = Report{
 			Stall:          features.StallLabel(stalls[i]),
 			Representation: features.RepLabel(reps[i]),
+			StallConf:      sc.stallConf[i],
+			RepConf:        sc.repConf[i],
 			SwitchVariance: score > f.Switch.Threshold,
 			SwitchScore:    score,
 			Chunks:         so.Len(),
+		}
+		if qh != nil {
+			// sc.*.proj holds each model's projected (baseline-order)
+			// feature vector for session i, written by predictBatchInto
+			qh.Monitor.Stall.Observe(qh.Shard, sc.stall.proj[i], stalls[i], sc.stallConf[i])
+			qh.Monitor.Rep.Observe(qh.Shard, sc.rep.proj[i], reps[i], sc.repConf[i])
+			qh.Monitor.ObserveSwitch(qh.Shard, score, out[i].SwitchVariance)
 		}
 	}
 	set.ObserveSince(obs.StageCUSUM, t0)

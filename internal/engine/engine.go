@@ -24,6 +24,7 @@ import (
 
 	"vqoe/internal/core"
 	"vqoe/internal/obs"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
@@ -58,6 +59,13 @@ type Config struct {
 	// logger for drain/eviction events. nil (the default) turns all of
 	// it off — the hot path then takes no clock readings at all.
 	Obs *obs.Observer
+	// Quality attaches the model-quality monitor: every shard feeds
+	// its predictions (projected features, class, confidence) into the
+	// monitor's per-shard accumulators and registers them for delayed
+	// ground-truth matching via ObserveLabel. Build it with
+	// core.NewQualityMonitor over the same framework and shard count.
+	// nil (the default) turns quality monitoring off.
+	Quality *qualitymon.Monitor
 }
 
 // DefaultConfig mirrors the serial pipeline's session parameters.
@@ -140,6 +148,20 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Observer returns the attached observability layer (nil when the
 // engine runs uninstrumented).
 func (e *Engine) Observer() *obs.Observer { return e.cfg.Obs }
+
+// Quality returns the attached model-quality monitor (nil when quality
+// monitoring is off).
+func (e *Engine) Quality() *qualitymon.Monitor { return e.cfg.Quality }
+
+// ObserveLabel feeds one delayed ground-truth label into the quality
+// monitor and reports whether it matched an already-assessed session
+// (unmatched labels wait, bounded, for the session to close). Safe at
+// any time — including after Drain, since late labels for sessions the
+// drain flushed must still count toward online accuracy. Returns false
+// when quality monitoring is off.
+func (e *Engine) ObserveLabel(l qualitymon.Label) bool {
+	return e.cfg.Quality.ObserveLabel(l)
+}
 
 func (e *Engine) shardOf(subscriber string) *shard {
 	h := fnv.New32a()

@@ -9,6 +9,7 @@ import (
 	"vqoe/internal/core"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
@@ -50,6 +51,11 @@ type shard struct {
 	tracer *obs.Tracer
 	log    *slog.Logger
 
+	// quality, when non-nil, feeds every assessed session into the
+	// model-quality monitor (this shard's accumulator set) and tracks
+	// it for delayed ground-truth matching.
+	quality *core.QualityHook
+
 	// worker-goroutine state
 	highWater float64
 	lastSweep float64
@@ -88,6 +94,9 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 		stages:     cfg.Obs.Stages(id),
 		tracer:     cfg.Obs.Tracer(id),
 		log:        cfg.Obs.Logger(),
+	}
+	if cfg.Quality != nil {
+		s.quality = &core.QualityHook{Monitor: cfg.Quality, Shard: id}
 	}
 	if s.tracer != nil {
 		tr, sid := s.tracer, int32(id)
@@ -244,7 +253,7 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 		kept = append(kept, c)
 	}
 	s.sobsBuf, s.keptBuf = sobs, kept
-	reps := s.fw.AnalyzeBatchInto(sobs, s.stages, &s.scratch)
+	reps := s.fw.AnalyzeBatchQuality(sobs, s.stages, &s.scratch, s.quality)
 	var out []Report
 	if reuse {
 		out = s.outBuf[:0]
@@ -258,6 +267,17 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 			End:        kept[i].End,
 			Report:     r,
 		})
+		if s.quality != nil {
+			s.quality.Monitor.TrackPrediction(qualitymon.Prediction{
+				Subscriber: kept[i].Subscriber,
+				Start:      kept[i].Start,
+				End:        kept[i].End,
+				Stall:      int(r.Stall),
+				Rep:        int(r.Representation),
+				StallConf:  r.StallConf,
+				RepConf:    r.RepConf,
+			})
+		}
 		s.trace(obs.EvAssess, kept[i].End, kept[i])
 	}
 	if reuse {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/stats"
 )
 
@@ -195,6 +196,31 @@ func Evaluate(f *Forest, test *Dataset) *Confusion {
 // (qoetrain, CFS candidate evaluation, the Table 3/6 benchmarks) CPU
 // bound instead of serialized on one fold at a time.
 func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism int) *Confusion {
+	conf, _ := crossValidate(ds, k, cfg, seed, parallelism, 0)
+	return conf
+}
+
+// CrossValidateCalibrated is CrossValidate plus a held-out calibration
+// curve: every test-fold prediction's confidence (top-vote fraction)
+// and correctness is accumulated into a qualitymon.CalibrationCurve
+// with the given bin count (qualitymon.ConfBins when <= 0). The
+// confusion matrix is identical to CrossValidate's — both argmax the
+// same unnormalized vote accumulation — and the curve is merged in
+// fold order, so the result is deterministic at every parallelism
+// level. This is the calibration reference the training path persists
+// in the model baseline.
+func CrossValidateCalibrated(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism, bins int) (*Confusion, *qualitymon.CalibrationCurve) {
+	if bins <= 0 {
+		bins = qualitymon.ConfBins
+	}
+	return crossValidate(ds, k, cfg, seed, parallelism, bins)
+}
+
+// crossValidate is the shared fold loop; bins > 0 additionally builds
+// the calibration curve. Fold randomness — fold assignment, balance
+// seeds, forest seeds — is derived exactly as before calibration
+// existed, so matrices are unchanged against prior releases.
+func crossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism, bins int) (*Confusion, *qualitymon.CalibrationCurve) {
 	r := stats.NewRand(seed)
 	folds := ds.StratifiedFolds(k, r)
 	// per-fold balance seeds, drawn in fold order so execution order
@@ -212,6 +238,7 @@ func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism
 	}
 
 	confs := make([]*Confusion, len(folds))
+	cals := make([]*qualitymon.CalibrationCurve, len(folds))
 	runFold := func(f int) {
 		trainIdx, testIdx := Split(folds, f)
 		train := ds.Subset(trainIdx).Balance(stats.NewRand(balSeeds[f]))
@@ -221,7 +248,26 @@ func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism
 		foldCfg := cfg
 		foldCfg.Seed = cfg.Seed + int64(f)
 		forest := TrainForest(train, foldCfg)
-		confs[f] = Evaluate(forest, ds.Subset(testIdx))
+		test := ds.Subset(testIdx)
+		conf := NewConfusion(ds.Classes)
+		var cal *qualitymon.CalibrationCurve
+		if bins > 0 {
+			cal = qualitymon.NewCalibrationCurve(bins)
+		}
+		// per-instance vote accumulation: same tree-order float
+		// additions as the batch kernel, so the argmax — and with it
+		// the matrix — is bit-identical to Evaluate's
+		dist := make([]float64, forest.numClasses)
+		nTrees := float64(len(forest.Trees))
+		for i, x := range test.X {
+			d := forest.accumulate(x, dist)
+			p := argmax(d)
+			conf.Observe(test.Y[i], p)
+			if cal != nil {
+				cal.Observe(d[p]/nTrees, p == test.Y[i])
+			}
+		}
+		confs[f], cals[f] = conf, cal
 	}
 
 	if parallelism <= 1 {
@@ -253,5 +299,14 @@ func CrossValidate(ds *Dataset, k int, cfg ForestConfig, seed int64, parallelism
 			conf.Merge(c)
 		}
 	}
-	return conf
+	if bins <= 0 {
+		return conf, nil
+	}
+	cal := qualitymon.NewCalibrationCurve(bins)
+	for _, c := range cals {
+		if c != nil {
+			cal.Merge(c)
+		}
+	}
+	return conf, cal
 }

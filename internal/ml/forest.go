@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/stats"
 )
 
@@ -48,6 +49,12 @@ type Forest struct {
 	Features   []string // schema the forest was trained on
 	Classes    []string
 	numClasses int
+	// Baseline is the training-time quality-monitoring reference
+	// (feature quantile sketches, class priors, held-out calibration).
+	// The core training path attaches it and Save persists it with the
+	// model; nil on forests trained by hand or loaded from model files
+	// written before baselines existed.
+	Baseline *qualitymon.Baseline
 }
 
 // TrainForest trains a Random Forest on ds: each tree sees a bootstrap
@@ -123,6 +130,24 @@ func (f *Forest) Predict(x []float64) int {
 // maxInlineClasses bounds the stack-allocated distribution Predict
 // uses; every model in this repo has ≤ 4 classes.
 const maxInlineClasses = 8
+
+// PredictConf returns the majority-vote class plus the forest's
+// confidence in it: the winning class's share of the tree votes
+// (max votes / ensemble size). The class is computed on the same
+// unnormalized vote accumulation as Predict, so the two always agree
+// bit for bit.
+func (f *Forest) PredictConf(x []float64) (int, float64) {
+	var buf [maxInlineClasses]float64
+	var dist []float64
+	if f.numClasses <= maxInlineClasses {
+		dist = buf[:f.numClasses]
+	} else {
+		dist = make([]float64, f.numClasses)
+	}
+	dist = f.accumulate(x, dist)
+	best := argmax(dist)
+	return best, dist[best] / float64(len(f.Trees))
+}
 
 // Proba returns the mean class distribution over all trees.
 func (f *Forest) Proba(x []float64) []float64 {

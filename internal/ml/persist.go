@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"vqoe/internal/qualitymon"
 )
 
 // Persistence: trained forests serialize to a self-describing gob
@@ -20,11 +22,24 @@ type nodeDTO struct {
 }
 
 // forestDTO is the exported on-wire form of a Forest.
+//
+// Wire-format evolution rides gob's field matching: Version and
+// Baseline were added for quality monitoring, and gob ignores absent
+// fields in both directions, so pre-baseline model files decode with
+// Version 0 and a nil Baseline (the monitor then reports "no
+// baseline" instead of erroring) while old binaries skip the new
+// fields of new files.
 type forestDTO struct {
 	Features []string
 	Classes  []string
 	Trees    []*nodeDTO
+	Version  int
+	Baseline *qualitymon.Baseline
 }
+
+// forestWireVersion is written into new model files; version 0 marks a
+// pre-baseline file.
+const forestWireVersion = 2
 
 func toDTO(n *node) *nodeDTO {
 	if n == nil {
@@ -60,6 +75,8 @@ func (f *Forest) Save(w io.Writer) error {
 		Features: f.Features,
 		Classes:  f.Classes,
 		Trees:    make([]*nodeDTO, len(f.Trees)),
+		Version:  forestWireVersion,
+		Baseline: f.Baseline,
 	}
 	for i, t := range f.Trees {
 		dto.Trees[i] = toDTO(t.root)
@@ -81,6 +98,7 @@ func LoadForest(r io.Reader) (*Forest, error) {
 		Classes:    dto.Classes,
 		Trees:      make([]*Tree, len(dto.Trees)),
 		numClasses: len(dto.Classes),
+		Baseline:   dto.Baseline,
 	}
 	for i, d := range dto.Trees {
 		if d == nil {

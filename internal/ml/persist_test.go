@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"vqoe/internal/qualitymon"
+	"vqoe/internal/stats"
+)
+
+// legacyForestDTO is the pre-baseline wire shape (version 0 files, from
+// before quality monitoring existed). Gob matches fields by name, so
+// encoding this and decoding into the current forestDTO is exactly what
+// happens when a new binary opens an old model file.
+type legacyForestDTO struct {
+	Features []string
+	Classes  []string
+	Trees    []*nodeDTO
+}
+
+// TestLoadLegacyModelFile asserts backward compatibility of the model
+// wire format: a file written before Version/Baseline existed still
+// loads, predicts bit-identically, and carries a nil Baseline (which
+// the quality monitor reports as "no baseline" rather than an error).
+func TestLoadLegacyModelFile(t *testing.T) {
+	r := stats.NewRand(31)
+	ds := randomDataset(r, 400, 5, 3)
+	f := TrainForest(ds, ForestConfig{Trees: 9, Seed: 4})
+
+	legacy := legacyForestDTO{
+		Features: f.Features,
+		Classes:  f.Classes,
+		Trees:    make([]*nodeDTO, len(f.Trees)),
+	}
+	for i, tr := range f.Trees {
+		legacy.Trees[i] = toDTO(tr.root)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatalf("legacy model file failed to load: %v", err)
+	}
+	if g.Baseline != nil {
+		t.Fatal("legacy model file decoded a non-nil baseline")
+	}
+	for probe := 0; probe < 200; probe++ {
+		x := randomProbe(r, 5)
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatalf("probe %d: legacy-loaded forest diverges", probe)
+		}
+	}
+}
+
+// TestSaveLoadRoundTripsBaseline asserts the forward direction: a
+// baseline attached at training time survives the gob round trip
+// field for field.
+func TestSaveLoadRoundTripsBaseline(t *testing.T) {
+	r := stats.NewRand(37)
+	ds := randomDataset(r, 300, 4, 2)
+	f := TrainForest(ds, ForestConfig{Trees: 7, Seed: 9})
+	f.Baseline = qualitymon.CaptureBaseline(
+		f.Features, ds.X, ds.Y, f.Classes, qualitymon.DefaultBins)
+	f.Baseline.Calibration = *qualitymon.NewCalibrationCurve(qualitymon.ConfBins)
+	f.Baseline.Calibration.Observe(0.9, true)
+	f.Baseline.Calibration.Observe(0.6, false)
+
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Baseline == nil {
+		t.Fatal("baseline lost in round trip")
+	}
+	if !reflect.DeepEqual(f.Baseline, g.Baseline) {
+		t.Fatalf("baseline changed in round trip:\nsaved  %+v\nloaded %+v", f.Baseline, g.Baseline)
+	}
+}
+
+// TestPredictConfMatchesPredict pins the confidence path to the vote
+// path: same winning class as Predict, confidence equal to the winning
+// class's share of the tree votes.
+func TestPredictConfMatchesPredict(t *testing.T) {
+	r := stats.NewRand(41)
+	ds := randomDataset(r, 400, 5, 3)
+	f := TrainForest(ds, ForestConfig{Trees: 11, Seed: 5})
+	for probe := 0; probe < 300; probe++ {
+		x := randomProbe(r, 5)
+		pred, conf := f.PredictConf(x)
+		if want := f.Predict(x); pred != want {
+			t.Fatalf("probe %d: PredictConf class %d, Predict %d", probe, pred, want)
+		}
+		if conf <= 0 || conf > 1 {
+			t.Fatalf("probe %d: confidence %v outside (0,1]", probe, conf)
+		}
+		if want := f.Proba(x)[pred]; conf != want {
+			t.Fatalf("probe %d: confidence %v != winning proba %v", probe, conf, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
+	"vqoe/internal/qualitymon"
 )
 
 // Metrics aggregates the pipeline's output for operational monitoring.
@@ -52,6 +53,11 @@ type Metrics struct {
 	// serial path's pseudo-shard in unsharded deployments (qoewatch).
 	stageStats func() []obs.StageSetSnapshot
 
+	// qualityStats, when attached, supplies the model-quality health
+	// snapshot (typically Monitor.Snapshot) for the vqoe_model_*
+	// families.
+	qualityStats func() qualitymon.Snapshot
+
 	// runtime controls whether process-introspection gauges
 	// (goroutines, heap, GC pauses) are appended to the exposition.
 	runtime bool
@@ -90,6 +96,14 @@ func (m *Metrics) AttachEngine(fn func() []engine.ShardStats) {
 func (m *Metrics) AttachStages(fn func() []obs.StageSetSnapshot) {
 	m.mu.Lock()
 	m.stageStats = fn
+	m.mu.Unlock()
+}
+
+// AttachQuality wires the model-quality monitor into the exposition;
+// fn is usually (*qualitymon.Monitor).Snapshot. Pass nil to detach.
+func (m *Metrics) AttachQuality(fn func() qualitymon.Snapshot) {
+	m.mu.Lock()
+	m.qualityStats = fn
 	m.mu.Unlock()
 }
 
@@ -199,6 +213,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if m.stageStats != nil {
 		m.writeStages(e, m.stageStats())
 	}
+	if m.qualityStats != nil {
+		m.writeQuality(e, m.qualityStats())
+	}
 	if e.err != nil {
 		return e.n, e.err
 	}
@@ -259,6 +276,94 @@ func (m *Metrics) writeStages(e *expoWriter, snaps []obs.StageSetSnapshot) {
 			e.printf("%s_count{stage=%q,shard=\"%d\"} %d\n", name, st.String(), shard, h.Count)
 		}
 	}
+}
+
+// writeQuality renders the model-quality families from a monitor
+// snapshot. Families that would be empty are suppressed entirely (a
+// declared-but-sampleless family is legal but useless; the baseline
+// families are simply absent when no model carries a baseline).
+func (m *Metrics) writeQuality(e *expoWriter, q qualitymon.Snapshot) {
+	if len(q.Models) == 0 {
+		return
+	}
+	e.family("vqoe_model_predictions_total", "Sessions assessed per model, by predicted class.", "counter")
+	for _, ms := range q.Models {
+		idx := sortedIdx(ms.Classes)
+		for _, i := range idx {
+			e.printf("vqoe_model_predictions_total{class=%q,model=%q} %d\n", ms.Classes[i], ms.Name, ms.Counts[i])
+		}
+	}
+
+	e.family("vqoe_model_mean_confidence", "Mean top-vote confidence of the model's predictions.", "gauge")
+	for _, ms := range q.Models {
+		e.printf("vqoe_model_mean_confidence{model=%q} %g\n", ms.Name, ms.MeanConfidence)
+	}
+
+	e.family("vqoe_model_ece", "Expected calibration error over labelled predictions.", "gauge")
+	for _, ms := range q.Models {
+		e.printf("vqoe_model_ece{model=%q} %g\n", ms.Name, ms.ECE)
+	}
+
+	e.family("vqoe_model_labeled_total", "Predictions matched with delayed ground-truth labels.", "counter")
+	for _, ms := range q.Models {
+		e.printf("vqoe_model_labeled_total{model=%q} %d\n", ms.Name, ms.Labeled)
+	}
+
+	e.family("vqoe_model_online_accuracy", "Accuracy over labelled predictions.", "gauge")
+	for _, ms := range q.Models {
+		e.printf("vqoe_model_online_accuracy{model=%q} %g\n", ms.Name, ms.OnlineAccuracy)
+	}
+
+	var withBase []qualitymon.ModelSnapshot
+	for _, ms := range q.Models {
+		if ms.HasBaseline {
+			withBase = append(withBase, ms)
+		}
+	}
+	if len(withBase) > 0 {
+		e.family("vqoe_model_feature_psi", "Population stability index of each selected feature vs its training baseline.", "gauge")
+		for _, ms := range withBase {
+			feats := append([]qualitymon.FeatureDrift(nil), ms.Features...)
+			sort.Slice(feats, func(i, j int) bool { return feats[i].Name < feats[j].Name })
+			for _, f := range feats {
+				e.printf("vqoe_model_feature_psi{feature=%q,model=%q} %g\n", f.Name, ms.Name, f.PSI)
+			}
+		}
+		e.family("vqoe_model_prior_psi", "PSI of the predicted-class distribution vs training priors.", "gauge")
+		for _, ms := range withBase {
+			e.printf("vqoe_model_prior_psi{model=%q} %g\n", ms.Name, ms.PriorPSI)
+		}
+		e.family("vqoe_model_baseline_accuracy", "Held-out cross-validation accuracy captured at training time.", "gauge")
+		for _, ms := range withBase {
+			e.printf("vqoe_model_baseline_accuracy{model=%q} %g\n", ms.Name, ms.BaselineAccuracy)
+		}
+	}
+
+	e.family("vqoe_model_degraded", "1 when the model trips a degradation threshold (drift, prior shift, or accuracy drop).", "gauge")
+	for _, ms := range q.Models {
+		v := 0
+		if ms.Degraded {
+			v = 1
+		}
+		e.printf("vqoe_model_degraded{model=%q} %d\n", ms.Name, v)
+	}
+
+	e.family("vqoe_quality_labels_total", "Ground-truth labels received on the side-channel.", "counter")
+	e.printf("vqoe_quality_labels_total %d\n", q.Labels.Total)
+	e.family("vqoe_quality_labels_matched_total", "Ground-truth labels matched to a tracked prediction.", "counter")
+	e.printf("vqoe_quality_labels_matched_total %d\n", q.Labels.Matched)
+}
+
+// sortedIdx returns the index permutation that visits names in sorted
+// order (quality families carry variable class sets, unlike the fixed
+// [3]int64 arrays sortedByLabel serves).
+func sortedIdx(names []string) []int {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return names[idx[i]] < names[idx[j]] })
+	return idx
 }
 
 // Handler serves the metrics over HTTP (GET only).

@@ -13,6 +13,7 @@ import (
 	"vqoe/internal/core"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 )
@@ -49,6 +50,13 @@ type Analyzer struct {
 	cfg    Config
 	tr     *sessionizer.Tracker
 	stages *obs.StageSet
+
+	// quality, when attached, receives every finished session's
+	// projected features, prediction, and confidence (as pseudo-shard
+	// 0) plus the prediction itself for delayed label matching.
+	quality *core.QualityHook
+	qsc     core.AnalyzeScratch
+	qobs    [1]features.SessionObs
 }
 
 // New creates an Analyzer emitting reports from the given framework.
@@ -78,6 +86,27 @@ func (a *Analyzer) OpenSessions() int { return a.tr.Open() }
 // forest/CUSUM split per finished session, ingest end to end per
 // entry. Pass nil to detach (the default: no clock reads at all).
 func (a *Analyzer) SetStages(s *obs.StageSet) { a.stages = s }
+
+// SetQuality attaches a model-quality monitor to the serial path: the
+// analyzer feeds it as pseudo-shard 0, exactly as an engine shard
+// would. Pass nil to detach.
+func (a *Analyzer) SetQuality(m *qualitymon.Monitor) {
+	if m == nil {
+		a.quality = nil
+		return
+	}
+	a.quality = &core.QualityHook{Monitor: m, Shard: 0}
+}
+
+// ObserveLabel feeds one delayed ground-truth label to the attached
+// quality monitor, reporting whether it matched a tracked prediction
+// (always false with no monitor attached).
+func (a *Analyzer) ObserveLabel(l qualitymon.Label) bool {
+	if a.quality == nil {
+		return false
+	}
+	return a.quality.Monitor.ObserveLabel(l)
+}
 
 // Push processes one weblog entry and returns any session reports that
 // became final because of it (a watch-page load or an idle gap closed
@@ -144,10 +173,29 @@ func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
 	if o.Len() < a.cfg.MinChunks {
 		return SessionReport{}, false
 	}
+	var rep core.Report
+	if a.quality != nil {
+		// batch-of-one through the quality-hooked path: reports are
+		// identical to AnalyzeObs (the hook only observes), and the
+		// scratch exposes the projected vectors the monitor needs
+		a.qobs[0] = o
+		rep = a.fw.AnalyzeBatchQuality(a.qobs[:], a.stages, &a.qsc, a.quality)[0]
+		a.quality.Monitor.TrackPrediction(qualitymon.Prediction{
+			Subscriber: c.Subscriber,
+			Start:      c.Start,
+			End:        c.End,
+			Stall:      int(rep.Stall),
+			Rep:        int(rep.Representation),
+			StallConf:  rep.StallConf,
+			RepConf:    rep.RepConf,
+		})
+	} else {
+		rep = a.fw.AnalyzeObs(o, a.stages)
+	}
 	return SessionReport{
 		Subscriber: c.Subscriber,
 		Start:      c.Start,
 		End:        c.End,
-		Report:     a.fw.AnalyzeObs(o, a.stages),
+		Report:     rep,
 	}, true
 }

@@ -377,6 +377,12 @@ func TestExpositionValid(t *testing.T) {
 		"vqoe_session_chunks", "vqoe_switch_score",
 		"vqoe_engine_shard_open_sessions", "vqoe_engine_shard_entries_total",
 		"vqoe_stage_duration_seconds", "vqoe_go_goroutines", "vqoe_go_gc_runs_total",
+		// model-quality families: trained models carry baselines, so the
+		// drift gauges must be present alongside the always-on ones
+		"vqoe_model_predictions_total", "vqoe_model_mean_confidence",
+		"vqoe_model_ece", "vqoe_model_labeled_total", "vqoe_model_online_accuracy",
+		"vqoe_model_feature_psi", "vqoe_model_prior_psi", "vqoe_model_baseline_accuracy",
+		"vqoe_model_degraded", "vqoe_quality_labels_total", "vqoe_quality_labels_matched_total",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing from exposition", want)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"vqoe/internal/features"
 	"vqoe/internal/mos"
 	"vqoe/internal/obs"
+	"vqoe/internal/qualitymon"
 	"vqoe/internal/weblog"
 )
 
@@ -21,12 +23,20 @@ import (
 //	                 traffic); response: the QoE assessment as JSON.
 //	POST /ingest   — body: JSONL entries appended to the live
 //	                 engine; response: reports for any sessions the
-//	                 new entries completed.
+//	                 new entries completed. Lines with "type":"label"
+//	                 are demuxed onto the ground-truth side-channel.
+//	POST /labels   — body: JSONL ground-truth labels for the
+//	                 model-quality monitor (delayed label
+//	                 side-channel); response: accept/match counts.
 //	GET  /metrics  — Prometheus exposition of everything assessed:
 //	                 per-shard engine gauges, stage-latency
 //	                 histograms, and runtime introspection.
 //	GET  /healthz  — liveness.
 //	GET  /debug/sessions — live per-shard open-session snapshot.
+//	GET  /debug/quality  — model-quality health: per-feature PSI vs
+//	                       the training baseline, prediction priors,
+//	                       calibration, online accuracy, degradation
+//	                       verdicts.
 //	GET  /debug/trace    — session-lifecycle ring as Chrome
 //	                       trace_event JSON (load in chrome://tracing
 //	                       or Perfetto).
@@ -62,6 +72,11 @@ type Options struct {
 	// recovery on every endpoint plus per-shard drain/eviction logs in
 	// the engine.
 	Logger *slog.Logger
+	// Quality tunes the model-quality monitor's degradation thresholds
+	// (zero fields take qualitymon defaults). The monitor itself is
+	// always on: every shard feeds it, /debug/quality reports it, and
+	// /metrics exports it.
+	Quality qualitymon.Thresholds
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -84,6 +99,8 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	s.obs = obs.NewObserver(ecfg.Shards, opts.TraceCap)
 	s.obs.SetLogger(opts.Logger)
 	ecfg.Obs = s.obs
+	qm := core.NewQualityMonitor(fw, ecfg.Shards, opts.Quality)
+	ecfg.Quality = qm
 	// sink: reports produced outside a request (none today, but a
 	// capture-loop Feed caller shares this engine) still hit metrics
 	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
@@ -91,6 +108,9 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	})
 	s.metrics.AttachEngine(s.eng.Snapshot)
 	s.metrics.AttachStages(s.obs.StageSnapshots)
+	if qm != nil {
+		s.metrics.AttachQuality(qm.Snapshot)
+	}
 	return s
 }
 
@@ -126,6 +146,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/labels", s.handleLabels)
+	mux.HandleFunc("/debug/quality", s.handleDebugQuality)
 	mux.Handle("/metrics", s.metrics.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -157,6 +179,55 @@ func (s *Server) handleDebugSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+func (s *Server) handleDebugQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.eng.Quality().Snapshot())
+}
+
+// LabelsResponse is the JSON shape of /labels results.
+type LabelsResponse struct {
+	Accepted int `json:"accepted"`
+	Matched  int `json:"matched"`
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var resp LabelsResponse
+	line := 0
+	for sc.Scan() {
+		line++
+		if line > maxBodyLines {
+			http.Error(w, fmt.Sprintf("request exceeds %d lines", maxBodyLines), http.StatusBadRequest)
+			return
+		}
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l qualitymon.Label
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			http.Error(w, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		resp.Accepted++
+		if s.eng.ObserveLabel(l) {
+			resp.Matched++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -166,27 +237,32 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	_ = obs.WriteChromeTrace(w, s.obs.TraceEvents())
 }
 
-// AnalyzeResponse is the JSON shape of /analyze results.
+// AnalyzeResponse is the JSON shape of /analyze results. The
+// confidence fields are each forest's winning-class vote share.
 type AnalyzeResponse struct {
-	Stalling       string  `json:"stalling"`
-	Quality        string  `json:"quality"`
-	SwitchVariance bool    `json:"switch_variance"`
-	SwitchScore    float64 `json:"switch_score"`
-	Chunks         int     `json:"chunks"`
-	MOS            float64 `json:"mos"`
-	MOSVerbal      string  `json:"mos_verbal"`
+	Stalling          string  `json:"stalling"`
+	StallConfidence   float64 `json:"stall_confidence"`
+	Quality           string  `json:"quality"`
+	QualityConfidence float64 `json:"quality_confidence"`
+	SwitchVariance    bool    `json:"switch_variance"`
+	SwitchScore       float64 `json:"switch_score"`
+	Chunks            int     `json:"chunks"`
+	MOS               float64 `json:"mos"`
+	MOSVerbal         string  `json:"mos_verbal"`
 }
 
 func toResponse(r core.Report) AnalyzeResponse {
 	score := mos.FromReport(r)
 	return AnalyzeResponse{
-		Stalling:       r.Stall.String(),
-		Quality:        r.Representation.String(),
-		SwitchVariance: r.SwitchVariance,
-		SwitchScore:    r.SwitchScore,
-		Chunks:         r.Chunks,
-		MOS:            float64(score),
-		MOSVerbal:      score.Verbal(),
+		Stalling:          r.Stall.String(),
+		StallConfidence:   r.StallConf,
+		Quality:           r.Representation.String(),
+		QualityConfidence: r.RepConf,
+		SwitchVariance:    r.SwitchVariance,
+		SwitchScore:       r.SwitchScore,
+		Chunks:            r.Chunks,
+		MOS:               float64(score),
+		MOSVerbal:         score.Verbal(),
 	}
 }
 
@@ -195,10 +271,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	entries, err := decodeJSONL(r)
+	entries, labels, err := decodeJSONL(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	for _, l := range labels {
+		s.eng.ObserveLabel(l)
 	}
 	obs := features.FromEntries(entries)
 	if obs.Len() == 0 {
@@ -210,10 +289,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, toResponse(rep))
 }
 
-// IngestResponse is the JSON shape of /ingest results.
+// IngestResponse is the JSON shape of /ingest results. The label
+// fields appear when the request carried "type":"label" lines.
 type IngestResponse struct {
-	Accepted int            `json:"accepted"`
-	Reports  []IngestReport `json:"reports"`
+	Accepted       int            `json:"accepted"`
+	Reports        []IngestReport `json:"reports"`
+	LabelsAccepted int            `json:"labels_accepted,omitempty"`
+	LabelsMatched  int            `json:"labels_matched,omitempty"`
 }
 
 // IngestReport is one completed session in an ingest response.
@@ -229,12 +311,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	entries, err := decodeJSONL(r)
+	entries, labels, err := decodeJSONL(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	resp := IngestResponse{Accepted: len(entries), Reports: []IngestReport{}}
+	resp.LabelsAccepted = len(labels)
 	s.metrics.ObserveEntries(len(entries))
 	for _, r := range s.eng.Ingest(entries) {
 		rep := fromEngine(r)
@@ -246,35 +329,63 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Assessment: toResponse(rep.Report),
 		})
 	}
+	// labels observe after ingest so a request carrying a session and
+	// its own label can still match
+	for _, l := range labels {
+		if s.eng.ObserveLabel(l) {
+			resp.LabelsMatched++
+		}
+	}
 	writeJSON(w, resp)
 }
 
 // maxBodyLines bounds a single request's entry count.
 const maxBodyLines = 1_000_000
 
-func decodeJSONL(r *http.Request) ([]weblog.Entry, error) {
+// typeProbe is the cheap screen for side-channel lines: weblog entries
+// never carry a "type" key, so only lines containing it pay the extra
+// unmarshal to check for "type":"label".
+var typeProbe = []byte(`"type"`)
+
+// decodeJSONL splits a JSONL body into weblog entries and any
+// interleaved ground-truth labels (lines with "type":"label").
+func decodeJSONL(r *http.Request) ([]weblog.Entry, []qualitymon.Label, error) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var out []weblog.Entry
+	var labels []qualitymon.Label
 	line := 0
 	for sc.Scan() {
 		line++
 		if line > maxBodyLines {
-			return nil, fmt.Errorf("request exceeds %d lines", maxBodyLines)
+			return nil, nil, fmt.Errorf("request exceeds %d lines", maxBodyLines)
 		}
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
+		if bytes.Contains(sc.Bytes(), typeProbe) {
+			var probe struct {
+				Type string `json:"type"`
+			}
+			if json.Unmarshal(sc.Bytes(), &probe) == nil && probe.Type == qualitymon.LabelType {
+				var l qualitymon.Label
+				if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+					return nil, nil, fmt.Errorf("line %d: %v", line, err)
+				}
+				labels = append(labels, l)
+				continue
+			}
+		}
 		var e weblog.Entry
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("line %d: %v", line, err)
+			return nil, nil, fmt.Errorf("line %d: %v", line, err)
 		}
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, labels, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

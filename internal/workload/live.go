@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"vqoe/internal/features"
 	"vqoe/internal/netsim"
 	"vqoe/internal/player"
 	"vqoe/internal/stats"
@@ -35,6 +36,28 @@ type LiveConfig struct {
 	CatalogSize int
 	// Seed fixes the workload.
 	Seed int64
+
+	// LabelRate is the fraction of sessions (0..1) for which delayed
+	// ground-truth labels are emitted — the instrumented-device
+	// side-channel a monitor uses to measure online accuracy. Label
+	// draws come from a dedicated RNG stream, so changing the rate
+	// never perturbs the entry stream for a given seed.
+	LabelRate float64
+	// LabelDelayMeanSec is the mean extra delay (exponential) before a
+	// session's label becomes available, past a fixed 45 s floor.
+	// Zero means the 120 s default.
+	LabelDelayMeanSec float64
+
+	// ProfileWeights biases the bandwidth-profile mix (good, medium,
+	// poor network paths). The zero value keeps the historical
+	// {0.6, 0.3, 0.1} mix; skewing toward the last entry shifts the
+	// population onto degraded paths — the drift knob the quality
+	// monitor is meant to catch.
+	ProfileWeights [3]float64
+	// QualityCapWeights biases the per-session MaxQuality cap over the
+	// six-rung ladder. The zero value keeps the historical
+	// {0.05, 0.2, 0.3, 0.32, 0.09, 0.04} mix.
+	QualityCapWeights [6]float64
 }
 
 // DefaultLiveConfig returns a small but genuinely concurrent
@@ -50,6 +73,22 @@ func DefaultLiveConfig() LiveConfig {
 	}
 }
 
+// SessionLabel is the delayed ground truth for one generated session:
+// what an instrumented client (or subscriber panel) would report some
+// time after the session ended. Start/End bound the session's entries
+// on the capture clock so a monitor can match the label to the
+// prediction it made for the same traffic.
+type SessionLabel struct {
+	Subscriber string
+	Start      float64
+	End        float64
+	// AvailableAt is the capture-clock time the label arrives — always
+	// after End, modelling collection and upload latency.
+	AvailableAt float64
+	Stall       features.StallLabel
+	Rep         features.RepLabel
+}
+
 // Live is a generated multi-subscriber event stream.
 type Live struct {
 	// Entries is the full population's weblog, globally time-ordered —
@@ -57,6 +96,9 @@ type Live struct {
 	Entries []weblog.Entry
 	// PerSubscriber holds each subscriber's own time-ordered stream.
 	PerSubscriber [][]weblog.Entry
+	// Labels holds the delayed ground-truth side-channel (empty unless
+	// LabelRate > 0), ordered by AvailableAt.
+	Labels []SessionLabel
 	// Sessions is the number of true sessions generated.
 	Sessions int
 }
@@ -84,6 +126,7 @@ func GenerateLive(cfg LiveConfig) *Live {
 	}
 
 	l := &Live{PerSubscriber: make([][]weblog.Entry, cfg.Subscribers)}
+	labels := make([][]SessionLabel, cfg.Subscribers)
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	jobs := make(chan int)
@@ -92,7 +135,7 @@ func GenerateLive(cfg LiveConfig) *Live {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				l.PerSubscriber[i] = liveSubscriber(cfg, catalog, seeds[i], i)
+				l.PerSubscriber[i], labels[i] = liveSubscriber(cfg, catalog, seeds[i], i)
 			}
 		}()
 	}
@@ -106,36 +149,74 @@ func GenerateLive(cfg LiveConfig) *Live {
 	for _, es := range l.PerSubscriber {
 		l.Entries = append(l.Entries, es...)
 	}
+	for _, ls := range labels {
+		l.Labels = append(l.Labels, ls...)
+	}
 	sort.SliceStable(l.Entries, func(i, j int) bool {
 		return l.Entries[i].Timestamp < l.Entries[j].Timestamp
+	})
+	sort.SliceStable(l.Labels, func(i, j int) bool {
+		return l.Labels[i].AvailableAt < l.Labels[j].AvailableAt
 	})
 	return l
 }
 
-// liveSubscriber renders one subscriber's session sequence.
-func liveSubscriber(cfg LiveConfig, catalog *video.Catalog, seed int64, idx int) []weblog.Entry {
+// labelSeedSalt derives the label RNG stream from the subscriber seed.
+// Labels use their own stream so that turning the side-channel on (or
+// changing its rate) leaves the entry stream byte-identical for a seed.
+const labelSeedSalt = 0x6c61626c // "labl"
+
+// liveSubscriber renders one subscriber's session sequence plus its
+// delayed ground-truth labels (empty unless cfg.LabelRate > 0).
+func liveSubscriber(cfg LiveConfig, catalog *video.Catalog, seed int64, idx int) ([]weblog.Entry, []SessionLabel) {
 	r := stats.NewRand(seed)
+	rl := stats.NewRand(seed ^ labelSeedSalt)
+	profW := cfg.ProfileWeights[:]
+	if cfg.ProfileWeights == ([3]float64{}) {
+		profW = []float64{0.6, 0.3, 0.1}
+	}
+	capW := cfg.QualityCapWeights[:]
+	if cfg.QualityCapWeights == ([6]float64{}) {
+		capW = []float64{0.05, 0.2, 0.3, 0.32, 0.09, 0.04}
+	}
+	delayMean := cfg.LabelDelayMeanSec
+	if delayMean <= 0 {
+		delayMean = 120
+	}
 	sub := fmt.Sprintf("live%05d", idx)
 	offset := r.Float64() * cfg.StartSpreadSec
 	var out []weblog.Entry
+	var labels []SessionLabel
 	for k := 0; k < cfg.SessionsPerSubscriber; k++ {
 		v := catalog.Videos[r.Intn(len(catalog.Videos))]
-		_, prof := profileByIndex(r.WeightedChoice([]float64{0.6, 0.3, 0.1}))
+		_, prof := profileByIndex(r.WeightedChoice(profW))
 		net := netsim.NewPath(prof, r.Fork())
 		pcfg := player.DefaultConfig(player.Adaptive)
-		pcfg.MaxQuality = video.Ladder[r.WeightedChoice([]float64{0.05, 0.2, 0.3, 0.32, 0.09, 0.04})]
+		pcfg.MaxQuality = video.Ladder[r.WeightedChoice(capW)]
 		if r.Float64() < 0.25 {
 			pcfg.WatchFraction = 0.3 + 0.7*r.Float64()
 		}
 		tr := player.Run(v, net, pcfg, r.Fork())
+		pre := len(out)
 		out = append(out, weblog.FromTrace(tr, weblog.Options{
 			Subscriber: sub,
 			Encrypted:  true,
 			TimeOffset: offset,
 		})...)
+		if labeled := rl.Float64() < cfg.LabelRate; labeled && len(out) > pre {
+			seg := out[pre:]
+			labels = append(labels, SessionLabel{
+				Subscriber:  sub,
+				Start:       seg[0].Timestamp,
+				End:         seg[len(seg)-1].Timestamp,
+				AvailableAt: seg[len(seg)-1].Timestamp + 45 + rl.Exp(delayMean),
+				Stall:       features.LabelStall(tr.RebufferingRatio()),
+				Rep:         features.LabelRepresentation(tr.AverageQuality()),
+			})
+		}
 		offset += tr.Duration + r.Exp(cfg.MeanGapSec) + 20
 	}
-	return out
+	return out, labels
 }
 
 // Partition splits the global stream into n time-ordered sub-streams

@@ -38,13 +38,18 @@ done
 curl -fsS "$BASE/healthz" | grep -q ok
 echo "   healthz ok"
 
-echo "== ingest a generated live stream"
-"$TMP/qoegen" -kind live -subscribers 16 -n 2 -seed 7 -format jsonl >"$TMP/live.jsonl"
+echo "== ingest a generated live stream (with ground-truth labels)"
+"$TMP/qoegen" -kind live -subscribers 16 -n 2 -seed 7 -label-rate 0.5 \
+    -format jsonl >"$TMP/live.jsonl"
 test -s "$TMP/live.jsonl"
-ACCEPTED=$(curl -fsS -X POST --data-binary @"$TMP/live.jsonl" "$BASE/ingest" |
-    grep -o '"accepted":[0-9]*' | cut -d: -f2)
-echo "   accepted $ACCEPTED entries"
+grep -q '"type":"label"' "$TMP/live.jsonl" ||
+    { echo "qoegen -label-rate emitted no label lines" >&2; exit 1; }
+INGEST=$(curl -fsS -X POST --data-binary @"$TMP/live.jsonl" "$BASE/ingest")
+ACCEPTED=$(grep -o '"accepted":[0-9]*' <<<"$INGEST" | cut -d: -f2)
+LABELS=$(grep -o '"labels_accepted":[0-9]*' <<<"$INGEST" | cut -d: -f2)
+echo "   accepted $ACCEPTED entries, $LABELS labels"
 test "$ACCEPTED" -gt 0
+test "${LABELS:-0}" -gt 0
 
 echo "== scrape /metrics"
 curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
@@ -55,6 +60,10 @@ for family in \
     vqoe_sessions_switch_varying \
     vqoe_engine_shard_open_sessions \
     vqoe_stage_duration_seconds_bucket \
+    vqoe_model_predictions_total \
+    vqoe_model_feature_psi \
+    vqoe_model_degraded \
+    vqoe_quality_labels_total \
     vqoe_go_goroutines; do
     grep -q "^$family" "$TMP/metrics.txt" ||
         { echo "missing family $family" >&2; exit 1; }
@@ -79,6 +88,23 @@ python3 -c "import json,sys; t=json.load(open('$TMP/trace.json')); sys.exit(0 if
     grep -q '"ph"' "$TMP/trace.json"
 curl -fsS "$BASE/debug/pprof/" >/dev/null
 echo "   sessions, trace, pprof ok"
+
+echo "== model-quality health"
+curl -fsS "$BASE/debug/quality" >"$TMP/quality.json"
+# the document must be well-formed JSON with both models and a status each
+python3 - "$TMP/quality.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+models = doc["models"]
+assert len(models) == 2, f"want stall+rep, got {len(models)} models"
+for m in models:
+    assert m["status"] in ("ok", "degraded", "no baseline"), m["status"]
+    assert m["has_baseline"], f"model {m['model']} served without a baseline"
+    assert m["samples"] > 0, f"model {m['model']} saw no traffic"
+assert doc["labels"]["total"] > 0, "label side-channel never reached the monitor"
+print("   models:", ", ".join(f"{m['model']}={m['status']}" for m in models),
+      f"(labels total={doc['labels']['total']} matched={doc['labels']['matched']})")
+PY
 
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
