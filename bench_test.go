@@ -8,7 +8,12 @@
 package vqoe
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -22,6 +27,8 @@ import (
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+	"vqoe/internal/wire"
 	"vqoe/internal/workload"
 )
 
@@ -520,6 +527,126 @@ func BenchmarkSerialPipelineIngest(b *testing.B) {
 			b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
 		})
 	}
+}
+
+// ---- Ingest transport comparison ----
+
+// ingestClients is the concurrent emitter count for the transport
+// benchmarks below; it matches the engine shard count so the two
+// benchmarks differ only in transport, not in offered parallelism.
+const ingestClients = 4
+
+// BenchmarkHTTPIngest drives the full HTTP surface end to end: the
+// live stream is pre-marshaled to JSONL chunks (generous to HTTP —
+// encoding is off the clock), then POSTed to /ingest on a real TCP
+// listener by concurrent clients, and the engine drained. This is the
+// baseline the wire protocol's >=2x acceptance bar is measured
+// against; BENCH_PR6.json records the pair.
+func BenchmarkHTTPIngest(b *testing.B) {
+	const subs, shards = 128, ingestClients
+	fw, live := liveFixture(b, subs)
+	parts := live.Partition(ingestClients)
+	bodies := make([][][]byte, len(parts))
+	for p, part := range parts {
+		for lo := 0; lo < len(part); lo += 256 {
+			hi := lo + 256
+			if hi > len(part) {
+				hi = len(part)
+			}
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for _, e := range part[lo:hi] {
+				if err := enc.Encode(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bodies[p] = append(bodies[p], buf.Bytes())
+		}
+	}
+	ecfg := engine.DefaultConfig()
+	ecfg.Shards = shards
+	ecfg.Mailbox = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := pipeline.NewServerOpts(fw, pipeline.Options{Engine: ecfg})
+		ts := httptest.NewServer(srv.Handler())
+		var wg sync.WaitGroup
+		for _, chunks := range bodies {
+			wg.Add(1)
+			go func(chunks [][]byte) {
+				defer wg.Done()
+				for _, body := range chunks {
+					resp, err := http.Post(ts.URL+"/ingest", "application/jsonl", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(chunks)
+		}
+		wg.Wait()
+		srv.Drain()
+		ts.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+}
+
+// BenchmarkWireIngest pushes the identical live stream into the same
+// pipeline server over the binary wire listener: concurrent clients,
+// one persistent connection each, binary encoding paid inside the
+// timed region (the wire side gets no pre-encoding head start), a
+// Sync barrier per client, then the same engine drain.
+func BenchmarkWireIngest(b *testing.B) {
+	const subs, shards = 128, ingestClients
+	fw, live := liveFixture(b, subs)
+	parts := live.Partition(ingestClients)
+	ecfg := engine.DefaultConfig()
+	ecfg.Shards = shards
+	ecfg.Mailbox = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := pipeline.NewServerOpts(fw, pipeline.Options{Engine: ecfg})
+		ws := srv.NewWireServer()
+		ln, err := wire.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = ws.Serve(ln) }()
+		var wg sync.WaitGroup
+		for _, part := range parts {
+			wg.Add(1)
+			go func(part []weblog.Entry) {
+				defer wg.Done()
+				c, err := wire.Dial(ln.Addr().String())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				for lo := 0; lo < len(part); lo += 256 {
+					hi := lo + 256
+					if hi > len(part) {
+						hi = len(part)
+					}
+					if err := c.SendEntries(part[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if _, err := c.Sync(); err != nil {
+					b.Error(err)
+				}
+			}(part)
+		}
+		wg.Wait()
+		srv.Drain()
+		ws.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
 }
 
 func BenchmarkAblationSwitchML(b *testing.B) {

@@ -21,6 +21,12 @@
 // the label would become available, so the model-quality monitor can
 // measure online accuracy. -drift skews the population onto degraded
 // network paths — a feature-drift scenario the monitor should flag.
+//
+// With -wire the live stream bypasses JSON entirely and is pushed
+// over the binary frame protocol to a qoeserve wire listener, ending
+// with a sync barrier so the exit status reflects delivery:
+//
+//	qoegen -kind live -subscribers 200 -n 3 -wire 127.0.0.1:9090
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"vqoe/internal/features"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/wire"
 	"vqoe/internal/workload"
 )
 
@@ -48,6 +55,7 @@ func main() {
 		labelRate   = flag.Float64("label-rate", 0, "fraction of live sessions that emit a delayed ground-truth label line")
 		labelDelay  = flag.Float64("label-delay", 120, "mean extra label delay in seconds for -kind live")
 		drift       = flag.Bool("drift", false, "skew the live population onto degraded network paths (feature-drift scenario)")
+		wireAddr    = flag.String("wire", "", "send the -kind live stream to this wire listener (host:port or unix:/path) instead of stdout")
 	)
 	flag.Parse()
 
@@ -61,7 +69,14 @@ func main() {
 		if *drift {
 			lcfg.ProfileWeights = [3]float64{0.05, 0.15, 0.8}
 		}
-		if err := writeLiveJSONL(workload.GenerateLive(lcfg)); err != nil {
+		live := workload.GenerateLive(lcfg)
+		var err error
+		if *wireAddr != "" {
+			err = sendLiveWire(live, *wireAddr)
+		} else {
+			err = writeLiveJSONL(live)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "qoegen:", err)
 			os.Exit(1)
 		}
@@ -159,15 +174,7 @@ func writeLiveJSONL(live *workload.Live) error {
 	enc := json.NewEncoder(out)
 	li := 0
 	emitLabel := func(l workload.SessionLabel) error {
-		return enc.Encode(qualitymon.Label{
-			Type:        qualitymon.LabelType,
-			Subscriber:  l.Subscriber,
-			Start:       l.Start,
-			End:         l.End,
-			AvailableAt: l.AvailableAt,
-			Stall:       int(l.Stall),
-			Rep:         int(l.Rep),
-		})
+		return enc.Encode(liveLabel(l))
 	}
 	for _, e := range live.Entries {
 		for li < len(live.Labels) && live.Labels[li].AvailableAt <= e.Timestamp {
@@ -185,6 +192,56 @@ func writeLiveJSONL(live *workload.Live) error {
 			return err
 		}
 	}
+	return nil
+}
+
+func liveLabel(l workload.SessionLabel) qualitymon.Label {
+	return qualitymon.Label{
+		Type:        qualitymon.LabelType,
+		Subscriber:  l.Subscriber,
+		Start:       l.Start,
+		End:         l.End,
+		AvailableAt: l.AvailableAt,
+		Stall:       int(l.Stall),
+		Rep:         int(l.Rep),
+	}
+}
+
+// sendLiveWire streams the live workload over the binary frame
+// protocol in the same time order writeLiveJSONL emits — entries by
+// timestamp, labels interleaved at availability — then syncs, so a
+// clean exit means the server decoded everything.
+func sendLiveWire(live *workload.Live, addr string) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	li := 0
+	for i := range live.Entries {
+		for li < len(live.Labels) && live.Labels[li].AvailableAt <= live.Entries[i].Timestamp {
+			l := liveLabel(live.Labels[li])
+			if err := c.AppendLabel(&l); err != nil {
+				return err
+			}
+			li++
+		}
+		if err := c.AppendEntry(&live.Entries[i]); err != nil {
+			return err
+		}
+	}
+	for ; li < len(live.Labels); li++ {
+		l := liveLabel(live.Labels[li])
+		if err := c.AppendLabel(&l); err != nil {
+			return err
+		}
+	}
+	ack, err := c.Sync()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qoegen: wire sync: server decoded %d entries, %d labels\n",
+		ack.Entries, ack.Labels)
 	return nil
 }
 

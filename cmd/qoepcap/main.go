@@ -8,6 +8,11 @@
 //	  measurement chain on a capture: flow metering → session
 //	  reconstruction → QoE reports.
 //
+//	qoepcap -replay capture.pcap -wire 127.0.0.1:9090   stream the
+//	  capture through the incremental flow meter and push the
+//	  synthesized entries to a qoeserve wire listener as transactions
+//	  complete — a passive probe feeding the live engine.
+//
 // A hosts file ("ip host" per line) restores server names for captures
 // whose DNS/SNI context is external; -export writes one next to the
 // capture automatically.
@@ -28,6 +33,7 @@ import (
 	"vqoe/internal/sessionizer"
 	"vqoe/internal/stats"
 	"vqoe/internal/weblog"
+	"vqoe/internal/wire"
 	"vqoe/internal/workload"
 )
 
@@ -35,7 +41,9 @@ func main() {
 	var (
 		export   = flag.String("export", "", "write a synthetic capture to this pcap file")
 		analyze  = flag.String("analyze", "", "analyze this pcap file")
-		hosts    = flag.String("hosts", "", "ip→host map file for -analyze")
+		replay   = flag.String("replay", "", "stream this pcap's metered entries to a wire listener")
+		wireAddr = flag.String("wire", "127.0.0.1:9090", "wire listener address for -replay (host:port or unix:/path)")
+		hosts    = flag.String("hosts", "", "ip→host map file for -analyze/-replay")
 		sessions = flag.Int("sessions", 20, "sessions to synthesize for -export")
 		seed     = flag.Int64("seed", 1, "seed")
 		trainN   = flag.Int("train-n", 800, "training corpus size for -analyze")
@@ -50,6 +58,11 @@ func main() {
 		}
 	case *analyze != "":
 		if err := doAnalyze(*analyze, *hosts, *trainN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "qoepcap:", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *hosts, *wireAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "qoepcap:", err)
 			os.Exit(1)
 		}
@@ -97,15 +110,17 @@ func doExport(path string, sessions int, seed int64) error {
 	return nil
 }
 
-func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
+// openCapture opens a pcap reader with server names restored from the
+// hosts file (default: the companion <path>.hosts -export writes).
+func openCapture(path, hostsPath string) (*os.File, *pcapio.Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	defer f.Close()
 	r, err := pcapio.NewReader(bufio.NewReader(f))
 	if err != nil {
-		return err
+		f.Close()
+		return nil, nil, err
 	}
 	if hostsPath == "" {
 		hostsPath = path + ".hosts"
@@ -122,6 +137,15 @@ func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "qoepcap: no host map (%v); media-host detection will fail\n", err)
 	}
+	return f, r, nil
+}
+
+func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
+	f, r, err := openCapture(path, hostsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 
 	pkts, err := r.ReadAll()
 	if err != nil {
@@ -160,5 +184,43 @@ func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
 		fmt.Printf("session %2d  t=%8.1fs  %s\n", n, s.Start, rep)
 	}
 	fmt.Printf("\n%d sessions assessed\n", n)
+	return nil
+}
+
+// doReplay streams a capture through the incremental flow meter and
+// pushes the synthesized entries over the wire protocol as
+// transactions complete, finishing with a sync barrier so the printed
+// ack count proves server-side delivery.
+func doReplay(path, hostsPath, addr string) error {
+	f, r, err := openCapture(path, hostsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var sendErr error
+	h := wire.Handler{Entries: func(entries []weblog.Entry) {
+		if sendErr == nil {
+			sendErr = c.SendEntries(entries)
+		}
+	}}
+	st, err := wire.ReplayPcap(r, h, wire.ReplayOptions{})
+	if err != nil {
+		return err
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	ack, err := c.Sync()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d packets → %d entries in %d batches (%.1fs capture span); server acked %d entries\n",
+		st.Packets, st.Entries, st.Batches, st.SpanSec, ack.Entries)
 	return nil
 }

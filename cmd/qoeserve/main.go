@@ -25,9 +25,22 @@
 // and duration. On SIGINT/SIGTERM the server stops accepting
 // requests, drains the engine (flushing still-open sessions into the
 // metrics), and exits.
+//
+// Beside the HTTP surface the binary ingest listener (internal/wire)
+// accepts length-prefixed frames at a fraction of the JSONL cost:
+//
+//	qoeserve -wire 127.0.0.1:9090            TCP wire listener
+//	qoeserve -wire-unix /tmp/vqoe.sock       UDS wire listener
+//
+// feed it with qoegen -kind live -wire, or qoepcap -replay. With
+// -pcap the server itself replays a capture through the flow meter
+// into the engine at startup (-pcap-hosts restores server names).
+// Shutdown closes wire connections (with a drain grace) before the
+// engine drain, so acked frames are always reflected in the flush.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -35,14 +48,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
 	"vqoe/internal/obs"
+	"vqoe/internal/pcapio"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/wire"
 	"vqoe/internal/workload"
 )
 
@@ -61,6 +77,10 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		psiMax    = flag.Float64("psi-threshold", 0, "PSI above which a feature (or the prediction prior) counts as drifted (0 = default 0.2)")
 		accDrop   = flag.Float64("accuracy-drop", 0, "online-accuracy drop (fraction) that flags degradation (0 = default 0.05)")
+		wireAddr  = flag.String("wire", "", "binary ingest listener TCP address (e.g. 127.0.0.1:9090)")
+		wireUnix  = flag.String("wire-unix", "", "binary ingest listener unix socket path")
+		pcapPath  = flag.String("pcap", "", "replay this capture through the flow meter into the engine at startup")
+		pcapHosts = flag.String("pcap-hosts", "", "ip→host map for -pcap (default <pcap>.hosts)")
 	)
 	flag.Parse()
 
@@ -93,6 +113,42 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	var ws *wire.Server
+	if *wireAddr != "" || *wireUnix != "" {
+		ws = srv.NewWireServer()
+		wireAddrs := []string{}
+		if *wireAddr != "" {
+			wireAddrs = append(wireAddrs, *wireAddr)
+		}
+		if *wireUnix != "" {
+			wireAddrs = append(wireAddrs, "unix:"+*wireUnix)
+		}
+		for _, a := range wireAddrs {
+			ln, err := wire.Listen(a)
+			if err != nil {
+				log.Error("wire listen failed", "addr", a, "err", err)
+				os.Exit(1)
+			}
+			go func(a string) {
+				if err := ws.Serve(ln); err != nil {
+					log.Error("wire serve failed", "addr", a, "err", err)
+				}
+			}(a)
+			log.Info("wire listening", "addr", a)
+		}
+	}
+	if *pcapPath != "" {
+		go func() {
+			st, err := replayCapture(*pcapPath, *pcapHosts, srv.WireHandler())
+			if err != nil {
+				log.Error("pcap replay failed", "path", *pcapPath, "err", err)
+				return
+			}
+			log.Info("pcap replayed", "path", *pcapPath, "packets", st.Packets,
+				"entries", st.Entries, "batches", st.Batches, "span_sec", st.SpanSec)
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -102,6 +158,9 @@ func main() {
 		log.Info("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if ws != nil {
+			_ = ws.Close()
+		}
 		_ = httpSrv.Shutdown(ctx)
 		flushed := srv.Drain()
 		log.Info("drained", "flushed_sessions", len(flushed))
@@ -157,4 +216,33 @@ func loadDetector(path string) (*core.Detector, error) {
 	}
 	defer f.Close()
 	return core.LoadDetector(f)
+}
+
+// replayCapture streams a pcap through the flow meter into the wire
+// handler (the same entry path the listener feeds), restoring server
+// names from the companion hosts file when present.
+func replayCapture(path, hostsPath string, h wire.Handler) (wire.ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return wire.ReplayStats{}, err
+	}
+	defer f.Close()
+	r, err := pcapio.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return wire.ReplayStats{}, err
+	}
+	if hostsPath == "" {
+		hostsPath = path + ".hosts"
+	}
+	if hf, err := os.Open(hostsPath); err == nil {
+		sc := bufio.NewScanner(hf)
+		for sc.Scan() {
+			parts := strings.Fields(sc.Text())
+			if len(parts) == 2 {
+				r.ResolveHost(parts[0], parts[1])
+			}
+		}
+		hf.Close()
+	}
+	return wire.ReplayPcap(r, h, wire.ReplayOptions{})
 }

@@ -169,14 +169,35 @@ func (e *Engine) shardOf(subscriber string) *shard {
 	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
-// split partitions entries by shard, preserving arrival order.
+// split partitions entries by shard, preserving arrival order. It
+// always copies into freshly allocated per-shard batches — never
+// retaining the caller's slice — so callers like the wire listener
+// can reuse their decode scratch the moment a feed call returns. The
+// copy runs in two passes over one backing array: a count pass sizes
+// every shard's region exactly, so a batch costs four allocations
+// regardless of shard count or batch size instead of O(shards·log n)
+// append regrowth.
 func (e *Engine) split(entries []weblog.Entry) [][]weblog.Entry {
-	per := make([][]weblog.Entry, len(e.shards))
-	for _, en := range entries {
+	n := uint32(len(e.shards))
+	idx := make([]uint32, len(entries))
+	counts := make([]uint32, n)
+	for i := range entries {
 		h := fnv.New32a()
-		h.Write([]byte(en.Subscriber))
-		i := h.Sum32() % uint32(len(e.shards))
-		per[i] = append(per[i], en)
+		h.Write([]byte(entries[i].Subscriber))
+		s := h.Sum32() % n
+		idx[i] = s
+		counts[s]++
+	}
+	backing := make([]weblog.Entry, len(entries))
+	per := make([][]weblog.Entry, n)
+	off := uint32(0)
+	for s, c := range counts {
+		per[s] = backing[off : off : off+c]
+		off += c
+	}
+	for i := range entries {
+		s := idx[i]
+		per[s] = append(per[s], entries[i])
 	}
 	return per
 }
@@ -185,7 +206,9 @@ func (e *Engine) split(entries []weblog.Entry) [][]weblog.Entry {
 // every session the batch completed (including sessions the batch's
 // eviction sweeps closed), ordered by session start time. It blocks
 // when mailboxes are full — the request/response backpressure path
-// used by the HTTP server's /ingest.
+// used by the HTTP server's /ingest. Like Feed and Offer it copies
+// entries during the shard split and never retains the caller's
+// slice, so decode scratch can be reused as soon as it returns.
 func (e *Engine) Ingest(entries []weblog.Entry) []Report {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

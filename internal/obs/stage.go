@@ -25,13 +25,18 @@ const (
 	// StageIngest is the end-to-end handling of one entry batch:
 	// sessionize + featurize + forest + CUSUM + report emission.
 	StageIngest
+	// StageWireDecode is the binary wire protocol's frame decode (one
+	// observation per frame, recorded per connection by the wire
+	// listener rather than per engine shard).
+	StageWireDecode
 
 	// NumStages is the number of instrumented stages.
-	NumStages = int(StageIngest) + 1
+	NumStages = int(StageWireDecode) + 1
 )
 
 var stageNames = [NumStages]string{
 	"sessionize", "featurize", "forest_predict", "cusum", "ingest",
+	"wire_decode",
 }
 
 // String returns the stage's label value in the exposition.

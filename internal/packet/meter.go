@@ -33,8 +33,19 @@ type Transaction struct {
 // Meter reconstructs transactions from a packet stream. Feed packets
 // in time order with Observe; Finish returns the completed
 // transactions.
+//
+// For offline traces the Observe-then-Finish pattern suffices. Live
+// replay over long captures uses the streaming surface instead:
+// Observe closes a transaction as soon as its flow signals the end
+// (a new request, FIN, or RST), and periodic Flush/FlushIdle calls
+// harvest what has closed — and bound the meter's memory by evicting
+// flows that went silent — so entries reach the engine while the
+// capture is still being read.
 type Meter struct {
 	flows map[string]*flowState
+	// pendingDone counts closed-but-unharvested transactions so Flush
+	// can size its result without walking flows twice.
+	pendingDone int
 }
 
 type flowState struct {
@@ -53,6 +64,14 @@ type flowState struct {
 	inflight []sentSeg
 	current  *Transaction
 	done     []Transaction
+	// lastSeen is the latest packet time on the flow in either
+	// direction — the idle clock FlushIdle evicts against.
+	lastSeen float64
+	// seeded marks that the down-direction cursors have been anchored
+	// to observed traffic. A flow first seen mid-stream (capture began
+	// after the handshake, or the flow woke after idle eviction) would
+	// otherwise measure bytes-in-flight against sequence zero.
+	seeded bool
 }
 
 // seqRange is a half-open [lo, hi) sequence interval.
@@ -104,6 +123,7 @@ func (m *Meter) Observe(p Packet) {
 		fs = &flowState{key: p.Flow}
 		m.flows[key] = fs
 	}
+	fs.lastSeen = p.Time
 
 	switch {
 	case p.Dir == Up && p.Flags.Has(SYN):
@@ -114,7 +134,7 @@ func (m *Meter) Observe(p Packet) {
 		fs.hsPending = false
 	case p.Dir == Up && p.PayloadLen > 0:
 		// a request starts a new transaction
-		fs.closeCurrent()
+		m.close(fs)
 		fs.current = &Transaction{Flow: p.Flow, Start: p.Time}
 		if fs.rttHS > 0 {
 			fs.current.observeRTT(fs.rttHS)
@@ -124,9 +144,31 @@ func (m *Meter) Observe(p Packet) {
 	case p.Dir == Up && p.Flags.Has(ACK):
 		fs.observeAck(p)
 	}
+	// connection teardown ends the transaction in flight: without this
+	// a long capture's last transaction per flow — and on streaming
+	// replay every transaction of a closed flow — would sit open until
+	// Finish
+	if p.Flags.Has(FIN) || p.Flags.Has(RST) {
+		m.close(fs)
+	}
+}
+
+// close finalizes a flow's in-flight transaction, tracking the
+// harvest count for Flush.
+func (m *Meter) close(fs *flowState) {
+	if fs.closeCurrent() {
+		m.pendingDone++
+	}
 }
 
 func (fs *flowState) observeData(p Packet) {
+	if !fs.seeded {
+		fs.seeded = true
+		fs.highestEnd = p.Seq
+		if fs.lastAck == 0 {
+			fs.lastAck = p.Seq
+		}
+	}
 	t := fs.current
 	if t == nil {
 		// response without a visible request (trace tail): open an
@@ -201,14 +243,14 @@ func (t *Transaction) observeRTT(rtt float64) {
 	t.rttN++
 }
 
-func (fs *flowState) closeCurrent() {
+func (fs *flowState) closeCurrent() bool {
 	t := fs.current
 	if t == nil {
-		return
+		return false
 	}
 	fs.current = nil
 	if t.Bytes == 0 && t.segments == 0 {
-		return
+		return false
 	}
 	t.Duration = t.lastData - t.Start
 	if t.Duration < 0 {
@@ -224,19 +266,60 @@ func (fs *flowState) closeCurrent() {
 		t.RetransPct = 100 * float64(t.retrans) / float64(t.segments)
 	}
 	fs.done = append(fs.done, *t)
+	return true
 }
 
-// Finish closes all open transactions and returns everything metered,
-// ordered by start time.
-func (m *Meter) Finish() []Transaction {
-	var out []Transaction
-	for _, fs := range m.flows {
-		fs.closeCurrent()
-		out = append(out, fs.done...)
-		fs.done = nil
+// Flush harvests every transaction closed since the last harvest,
+// ordered by start time, leaving in-flight transactions and all
+// reassembly state (holes, inflight segments, handshake RTT) in
+// place. Streaming callers alternate Observe and Flush; the final
+// Finish then returns only the remainder.
+func (m *Meter) Flush() []Transaction {
+	if m.pendingDone == 0 {
+		return nil
 	}
+	out := make([]Transaction, 0, m.pendingDone)
+	for _, fs := range m.flows {
+		if len(fs.done) > 0 {
+			out = append(out, fs.done...)
+			fs.done = fs.done[:0]
+		}
+	}
+	m.pendingDone = 0
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
+}
+
+// FlushIdle is Flush for long-running replay: transactions whose
+// flow has been silent since before now-idleGap are force-closed
+// first (a probe cannot tell a stalled response tail from a finished
+// one, exactly the §5.2 idle-gap argument), and flows silent for two
+// idle gaps are evicted entirely so the meter's state stays bounded
+// by the live flow count rather than the capture length. A flow that
+// wakes after eviction restarts with fresh reassembly state: its
+// first frames count as in-order delivery, never as retransmissions.
+func (m *Meter) FlushIdle(now, idleGap float64) []Transaction {
+	if idleGap > 0 {
+		for key, fs := range m.flows {
+			if fs.lastSeen >= now-idleGap {
+				continue
+			}
+			m.close(fs)
+			if fs.lastSeen < now-2*idleGap && len(fs.done) == 0 {
+				delete(m.flows, key)
+			}
+		}
+	}
+	return m.Flush()
+}
+
+// Finish closes all open transactions and returns everything not yet
+// flushed, ordered by start time.
+func (m *Meter) Finish() []Transaction {
+	for _, fs := range m.flows {
+		m.close(fs)
+	}
+	return m.Flush()
 }
 
 // ToEntry converts a metered transaction back into a weblog entry (the

@@ -1,0 +1,180 @@
+package packet
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+)
+
+// streamEntries builds a multi-flow, multi-subscriber entry stream to
+// synthesize packets from.
+func streamEntries() []weblog.Entry {
+	var out []weblog.Entry
+	for s := 0; s < 4; s++ {
+		sub := string(rune('a' + s))
+		for i := 0; i < 12; i++ {
+			out = append(out, weblog.Entry{
+				Timestamp:      float64(s) + float64(i)*3.5,
+				Subscriber:     sub,
+				Host:           "r1---sn-test.googlevideo.com",
+				ServerIP:       "173.194.1.2",
+				ServerPort:     443,
+				Encrypted:      true,
+				Bytes:          200000 + i*1000,
+				TransactionSec: 1.5,
+				RTTMin:         0.02, RTTAvg: 0.03, RTTMax: 0.05,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return out
+}
+
+func sortTxns(ts []Transaction) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		switch {
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Flow.Subscriber != b.Flow.Subscriber:
+			return a.Flow.Subscriber < b.Flow.Subscriber
+		default:
+			return a.Bytes < b.Bytes
+		}
+	})
+}
+
+// TestMeterStreamingEquivalence interleaves Observe with periodic
+// Flush harvests and checks the union equals one-shot metering — the
+// contract that lets long captures stream entries out while being
+// read, instead of buffering every transaction until Finish.
+func TestMeterStreamingEquivalence(t *testing.T) {
+	pkts := Synthesize(streamEntries(), stats.NewRand(3))
+
+	batch := NewMeter()
+	for _, p := range pkts {
+		batch.Observe(p)
+	}
+	want := batch.Finish()
+
+	stream := NewMeter()
+	var got []Transaction
+	for i, p := range pkts {
+		stream.Observe(p)
+		if i%50 == 49 {
+			got = append(got, stream.Flush()...)
+		}
+	}
+	got = append(got, stream.Finish()...)
+
+	if len(got) != len(want) {
+		t.Fatalf("streaming harvested %d transactions, batch %d", len(got), len(want))
+	}
+	sortTxns(got)
+	sortTxns(want)
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("transaction %d diverges:\n got %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Flush after Finish is empty, not a re-harvest
+	if extra := stream.Flush(); len(extra) != 0 {
+		t.Errorf("post-Finish flush returned %d transactions", len(extra))
+	}
+}
+
+// TestMeterFinClosesTransaction checks connection teardown ends the
+// in-flight transaction without waiting for Finish.
+func TestMeterFinClosesTransaction(t *testing.T) {
+	flow := FlowKey{Subscriber: "s", ServerIP: "10.0.0.1", ServerPort: 443, ClientPort: 40000}
+	m := NewMeter()
+	m.Observe(Packet{Time: 0, Flow: flow, Dir: Up, Flags: SYN})
+	m.Observe(Packet{Time: 0.01, Flow: flow, Dir: Down, Flags: SYN | ACK})
+	m.Observe(Packet{Time: 0.02, Flow: flow, Dir: Up, Flags: ACK | PSH, PayloadLen: 100})
+	m.Observe(Packet{Time: 0.05, Flow: flow, Dir: Down, Flags: ACK, Seq: 0, PayloadLen: 1460})
+	m.Observe(Packet{Time: 0.08, Flow: flow, Dir: Up, Flags: ACK, AckNo: 1460})
+	if got := m.Flush(); len(got) != 0 {
+		t.Fatalf("transaction closed before any boundary: %+v", got)
+	}
+	m.Observe(Packet{Time: 0.1, Flow: flow, Dir: Down, Flags: FIN | ACK})
+	got := m.Flush()
+	if len(got) != 1 {
+		t.Fatalf("FIN closed %d transactions, want 1", len(got))
+	}
+	if got[0].Bytes != 1460 {
+		t.Errorf("transaction bytes %d", got[0].Bytes)
+	}
+}
+
+// TestMeterIdleEviction checks FlushIdle force-closes quiet
+// transactions, evicts dead flows (bounding state by the live flow
+// count), and that a flow waking after eviction re-seeds its cursors:
+// mid-stream sequence numbers must not read as retransmissions or as
+// megabytes in flight.
+func TestMeterIdleEviction(t *testing.T) {
+	flow := FlowKey{Subscriber: "s", ServerIP: "10.0.0.1", ServerPort: 443, ClientPort: 40000}
+	m := NewMeter()
+	m.Observe(Packet{Time: 0, Flow: flow, Dir: Up, Flags: ACK | PSH, PayloadLen: 100})
+	m.Observe(Packet{Time: 0.05, Flow: flow, Dir: Down, Flags: ACK, Seq: 0, PayloadLen: 1460})
+	m.Observe(Packet{Time: 0.08, Flow: flow, Dir: Up, Flags: ACK, AckNo: 1460})
+
+	// still fresh: nothing closes, nothing evicted
+	if got := m.FlushIdle(5, 10); len(got) != 0 {
+		t.Fatalf("fresh flow harvested: %+v", got)
+	}
+	if len(m.flows) != 1 {
+		t.Fatal("fresh flow evicted")
+	}
+
+	// idle past the gap: the open transaction force-closes
+	got := m.FlushIdle(20, 10)
+	if len(got) != 1 || got[0].Bytes != 1460 {
+		t.Fatalf("idle close harvested %+v", got)
+	}
+	// idle past two gaps: the flow itself is evicted
+	m.FlushIdle(40, 10)
+	if len(m.flows) != 0 {
+		t.Fatalf("%d flows survive double-gap eviction", len(m.flows))
+	}
+
+	// the flow wakes mid-stream at a high sequence number
+	m.Observe(Packet{Time: 50, Flow: flow, Dir: Up, Flags: ACK | PSH, PayloadLen: 100})
+	m.Observe(Packet{Time: 50.05, Flow: flow, Dir: Down, Flags: ACK, Seq: 5_000_000, PayloadLen: 1460})
+	m.Observe(Packet{Time: 50.06, Flow: flow, Dir: Down, Flags: ACK, Seq: 5_001_460, PayloadLen: 1460})
+	m.Observe(Packet{Time: 50.1, Flow: flow, Dir: Down, Flags: FIN})
+	got = m.Finish()
+	if len(got) != 1 {
+		t.Fatalf("woken flow produced %d transactions", len(got))
+	}
+	if got[0].RetransPct != 0 {
+		t.Errorf("woken flow read %.1f%% retransmissions from fresh sequences", got[0].RetransPct)
+	}
+	if got[0].Bytes != 2920 {
+		t.Errorf("woken flow counted %d bytes, want 2920", got[0].Bytes)
+	}
+	if got[0].BIFMax > 4096 {
+		t.Errorf("bytes-in-flight %.0f measured against sequence zero instead of the re-seeded cursor", got[0].BIFMax)
+	}
+}
+
+// TestMeterEvictionKeepsHarvestable checks a flow with closed but
+// unharvested transactions survives eviction until they are flushed.
+func TestMeterEvictionKeepsHarvestable(t *testing.T) {
+	flow := FlowKey{Subscriber: "s", ServerIP: "10.0.0.1", ServerPort: 443, ClientPort: 40000}
+	m := NewMeter()
+	m.Observe(Packet{Time: 0, Flow: flow, Dir: Up, Flags: ACK | PSH, PayloadLen: 100})
+	m.Observe(Packet{Time: 0.05, Flow: flow, Dir: Down, Flags: ACK, Seq: 0, PayloadLen: 1460})
+	m.Observe(Packet{Time: 0.1, Flow: flow, Dir: Down, Flags: FIN})
+
+	// far past double the idle gap in one step: the close and the
+	// eviction race inside one FlushIdle — the transaction must win
+	got := m.FlushIdle(1000, 10)
+	if len(got) != 1 {
+		t.Fatalf("eviction dropped a closed transaction: %d harvested", len(got))
+	}
+}

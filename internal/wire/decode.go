@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"vqoe/internal/qualitymon"
+	"vqoe/internal/weblog"
+)
+
+// internMax bounds the decoder's string-intern table. Live traffic
+// cycles through a bounded vocabulary (subscribers, hosts, server
+// addresses), so the table converges and the steady state does no
+// per-entry string allocation; if a hostile or pathological stream
+// keeps minting new strings the table is reset rather than growing
+// without bound.
+const internMax = 1 << 16
+
+// Decoder turns validated frame payloads back into entries and
+// labels. The returned slices are scratch owned by the decoder —
+// valid only until the next DecodeFrame call — which is exactly the
+// lifetime the engine's Ingest/Feed contract needs (they copy during
+// the shard split). Not safe for concurrent use.
+type Decoder struct {
+	entries []weblog.Entry
+	labels  []qualitymon.Label
+	ack     Ack
+	interns map[string]string
+}
+
+// Ack is a decoded ack record: the peer's cumulative accepted counts.
+type Ack struct {
+	Seen            bool
+	Entries, Labels int64
+}
+
+// NewDecoder returns a decoder with an empty intern table.
+func NewDecoder() *Decoder {
+	return &Decoder{interns: make(map[string]string, 256)}
+}
+
+// DecodeFrame validates payload against h (CRC, record count, exact
+// length) and parses its records. The entry and label slices alias
+// decoder scratch and are only valid until the next call.
+func (d *Decoder) DecodeFrame(h Header, payload []byte) (entries []weblog.Entry, labels []qualitymon.Label, err error) {
+	if len(payload) != h.Len {
+		return nil, nil, fmt.Errorf("%w: %d payload bytes, header says %d", ErrTruncated, len(payload), h.Len)
+	}
+	if crc32.ChecksumIEEE(payload) != h.CRC {
+		return nil, nil, ErrCRC
+	}
+	d.entries = d.entries[:0]
+	d.labels = d.labels[:0]
+	d.ack = Ack{}
+	for rec := 0; rec < h.Records; rec++ {
+		if len(payload) == 0 {
+			return nil, nil, fmt.Errorf("%w: payload ends at record %d of %d", ErrRecord, rec, h.Records)
+		}
+		kind := payload[0]
+		payload = payload[1:]
+		switch kind {
+		case recEntry:
+			payload, err = d.decodeEntry(payload)
+		case recLabel:
+			payload, err = d.decodeLabel(payload)
+		case recAck:
+			payload, err = d.decodeAck(payload)
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown record kind %d", ErrRecord, kind)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("record %d: %w", rec, err)
+		}
+	}
+	if len(payload) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after %d records", ErrRecord, len(payload), h.Records)
+	}
+	return d.entries, d.labels, nil
+}
+
+// LastAck returns the ack decoded from the most recent frame, if any.
+func (d *Decoder) LastAck() Ack { return d.ack }
+
+// intern returns a string equal to b, reusing a previously built
+// string when the content was seen before. The map lookup with a
+// string(b) key does not allocate; only first sightings do.
+func (d *Decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.interns[string(b)]; ok {
+		return s
+	}
+	if len(d.interns) >= internMax {
+		d.interns = make(map[string]string, 256)
+	}
+	s := string(b)
+	d.interns[s] = s
+	return s
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrRecord)
+	}
+	return v, b[n:], nil
+}
+
+// takeString decodes a uvarint-prefixed string without copying: the
+// returned bytes alias b.
+func takeString(b []byte) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > MaxString {
+		return nil, nil, fmt.Errorf("%w: %d-byte string", ErrOversize, n)
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("%w: string overruns payload", ErrRecord)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func takeFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: short float64", ErrRecord)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func (d *Decoder) decodeEntry(b []byte) ([]byte, error) {
+	var sub, host, uri, ip []byte
+	var err error
+	if sub, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if host, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if uri, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if ip, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: missing entry flags", ErrRecord)
+	}
+	fl := b[0]
+	b = b[1:]
+	var port, size uint64
+	if port, b, err = takeUvarint(b); err != nil {
+		return nil, err
+	}
+	if port > 65535 {
+		return nil, fmt.Errorf("%w: port %d", ErrRecord, port)
+	}
+	if size, b, err = takeUvarint(b); err != nil {
+		return nil, err
+	}
+	if size > math.MaxInt64/2 {
+		return nil, fmt.Errorf("%w: object size %d", ErrRecord, size)
+	}
+	d.entries = append(d.entries, weblog.Entry{
+		Subscriber: d.intern(sub),
+		Host:       d.intern(host),
+		URI:        d.intern(uri),
+		ServerIP:   d.intern(ip),
+		Encrypted:  fl&entryEncrypted != 0,
+		Cached:     fl&entryCached != 0,
+		Compressed: fl&entryCompressed != 0,
+		ServerPort: int(port),
+		Bytes:      int(size),
+	})
+	en := &d.entries[len(d.entries)-1]
+	for _, dst := range [...]*float64{
+		&en.Timestamp, &en.TransactionSec,
+		&en.RTTMin, &en.RTTAvg, &en.RTTMax,
+		&en.BDP, &en.BIFAvg, &en.BIFMax,
+		&en.LossPct, &en.RetransPct,
+	} {
+		if *dst, b, err = takeFloat(b); err != nil {
+			d.entries = d.entries[:len(d.entries)-1]
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (d *Decoder) decodeLabel(b []byte) ([]byte, error) {
+	sub, b, err := takeString(b)
+	if err != nil {
+		return nil, err
+	}
+	var l qualitymon.Label
+	l.Subscriber = d.intern(sub)
+	if l.Start, b, err = takeFloat(b); err != nil {
+		return nil, err
+	}
+	if l.End, b, err = takeFloat(b); err != nil {
+		return nil, err
+	}
+	if l.AvailableAt, b, err = takeFloat(b); err != nil {
+		return nil, err
+	}
+	var stall, rep uint64
+	if stall, b, err = takeUvarint(b); err != nil {
+		return nil, err
+	}
+	if rep, b, err = takeUvarint(b); err != nil {
+		return nil, err
+	}
+	if stall > 255 || rep > 255 {
+		return nil, fmt.Errorf("%w: label classes %d/%d", ErrRecord, stall, rep)
+	}
+	l.Stall, l.Rep = int(stall), int(rep)
+	d.labels = append(d.labels, l)
+	return b, nil
+}
+
+func (d *Decoder) decodeAck(b []byte) ([]byte, error) {
+	entries, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	labels, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if entries > math.MaxInt64 || labels > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: ack counts overflow", ErrRecord)
+	}
+	d.ack = Ack{Seen: true, Entries: int64(entries), Labels: int64(labels)}
+	return b, nil
+}
+
+// FrameReader reads frames off a stream into a reusable payload
+// buffer. Not safe for concurrent use.
+type FrameReader struct {
+	r       io.Reader
+	hdr     [HeaderLen]byte
+	payload []byte
+}
+
+// NewFrameReader wraps r (wrap conns in a bufio.Reader first; the
+// reader issues small header reads).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads one frame. The payload aliases the reader's buffer and
+// is valid until the next call. io.EOF marks a clean end between
+// frames; a stream cut mid-frame is ErrTruncated.
+func (fr *FrameReader) Next() (Header, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: stream ends inside a header", ErrTruncated)
+		}
+		return Header{}, nil, err
+	}
+	h, err := parseHeader(fr.hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if cap(fr.payload) < h.Len {
+		fr.payload = make([]byte, h.Len)
+	}
+	fr.payload = fr.payload[:h.Len]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: stream ends inside a payload", ErrTruncated)
+		}
+		return Header{}, nil, err
+	}
+	return h, fr.payload, nil
+}

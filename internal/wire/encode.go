@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"vqoe/internal/qualitymon"
+	"vqoe/internal/weblog"
+)
+
+// flushTarget is the payload size at which an encoder closes the
+// current frame on its own: big enough to amortize the 16-byte header
+// and one syscall across hundreds of records, small enough that the
+// peer's reusable payload buffer stays modest.
+const flushTarget = 256 << 10
+
+// Encoder writes frames onto a stream. Append* calls accumulate
+// records into the current frame; Flush closes it. Appending past
+// flushTarget bytes or MaxRecords records flushes automatically, so a
+// caller can simply append an entire workload and Flush once at the
+// end. Not safe for concurrent use.
+type Encoder struct {
+	w       io.Writer
+	hdr     [HeaderLen]byte
+	payload []byte
+	records int
+	err     error
+}
+
+// NewEncoder returns an encoder writing frames to w. Wrap w in a
+// bufio.Writer when it is an unbuffered conn — the encoder issues one
+// Write per frame.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w, payload: make([]byte, 0, flushTarget+4096)}
+}
+
+// AppendEntry adds one weblog entry to the current frame.
+func (e *Encoder) AppendEntry(en *weblog.Entry) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.payload = appendEntry(e.payload, en)
+	return e.closeRecord()
+}
+
+// AppendLabel adds one ground-truth label to the current frame.
+func (e *Encoder) AppendLabel(l *qualitymon.Label) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.payload = appendLabel(e.payload, l)
+	return e.closeRecord()
+}
+
+// appendAck adds an ack record (server side).
+func (e *Encoder) appendAck(entries, labels int64) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.payload = append(e.payload, recAck)
+	e.payload = binary.AppendUvarint(e.payload, uint64(entries))
+	e.payload = binary.AppendUvarint(e.payload, uint64(labels))
+	return e.closeRecord()
+}
+
+// closeRecord accounts for one appended record and auto-flushes when
+// the frame is full.
+func (e *Encoder) closeRecord() error {
+	e.records++
+	if e.records >= MaxRecords || len(e.payload) >= flushTarget {
+		return e.Flush(0)
+	}
+	return nil
+}
+
+// Pending reports how many records the open frame holds.
+func (e *Encoder) Pending() int { return e.records }
+
+// Flush writes the current frame with the given flags. A frame with
+// zero records is only written when flags are set (an empty
+// ack-request frame is a valid sync barrier).
+func (e *Encoder) Flush(flags Flags) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.records == 0 && flags == 0 {
+		return nil
+	}
+	putHeader(e.hdr[:], Header{
+		Flags:   flags,
+		Records: e.records,
+		Len:     len(e.payload),
+		CRC:     crc32.ChecksumIEEE(e.payload),
+	})
+	if _, err := e.w.Write(e.hdr[:]); err != nil {
+		e.err = fmt.Errorf("wire: writing frame header: %w", err)
+		return e.err
+	}
+	if len(e.payload) > 0 {
+		if _, err := e.w.Write(e.payload); err != nil {
+			e.err = fmt.Errorf("wire: writing frame payload: %w", err)
+			return e.err
+		}
+	}
+	e.payload = e.payload[:0]
+	e.records = 0
+	return nil
+}
+
+// EncodeBatch is the one-shot helper: entries and labels become frames
+// on w (several, when the batch exceeds one frame's bounds), ending
+// with a flush.
+func EncodeBatch(w io.Writer, entries []weblog.Entry, labels []qualitymon.Label) error {
+	e := NewEncoder(w)
+	for i := range entries {
+		if err := e.AppendEntry(&entries[i]); err != nil {
+			return err
+		}
+	}
+	for i := range labels {
+		if err := e.AppendLabel(&labels[i]); err != nil {
+			return err
+		}
+	}
+	return e.Flush(0)
+}
+
+// appendUint varint-encodes a non-negative int (negative values clamp
+// to zero rather than exploding into a 10-byte uvarint).
+func appendUint(dst []byte, v int) []byte {
+	if v < 0 {
+		v = 0
+	}
+	return binary.AppendUvarint(dst, uint64(v))
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > MaxString {
+		s = s[:MaxString]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendEntry(dst []byte, en *weblog.Entry) []byte {
+	dst = append(dst, recEntry)
+	dst = appendString(dst, en.Subscriber)
+	dst = appendString(dst, en.Host)
+	dst = appendString(dst, en.URI)
+	dst = appendString(dst, en.ServerIP)
+	var fl byte
+	if en.Encrypted {
+		fl |= entryEncrypted
+	}
+	if en.Cached {
+		fl |= entryCached
+	}
+	if en.Compressed {
+		fl |= entryCompressed
+	}
+	dst = append(dst, fl)
+	dst = appendUint(dst, en.ServerPort)
+	dst = appendUint(dst, en.Bytes)
+	dst = appendFloat(dst, en.Timestamp)
+	dst = appendFloat(dst, en.TransactionSec)
+	dst = appendFloat(dst, en.RTTMin)
+	dst = appendFloat(dst, en.RTTAvg)
+	dst = appendFloat(dst, en.RTTMax)
+	dst = appendFloat(dst, en.BDP)
+	dst = appendFloat(dst, en.BIFAvg)
+	dst = appendFloat(dst, en.BIFMax)
+	dst = appendFloat(dst, en.LossPct)
+	dst = appendFloat(dst, en.RetransPct)
+	return dst
+}
+
+func appendLabel(dst []byte, l *qualitymon.Label) []byte {
+	dst = append(dst, recLabel)
+	dst = appendString(dst, l.Subscriber)
+	dst = appendFloat(dst, l.Start)
+	dst = appendFloat(dst, l.End)
+	dst = appendFloat(dst, l.AvailableAt)
+	dst = appendUint(dst, l.Stall)
+	dst = appendUint(dst, l.Rep)
+	return dst
+}

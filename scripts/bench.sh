@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR-4 performance suite and emit BENCH_PR4.json.
+# bench.sh — run the performance suite and emit BENCH_PR6.json.
 #
-# Covers the three layers the flattened-inference work touches:
+# Covers the layers the perf-sensitive PRs touch:
 #   - internal/ml forest benchmarks (flat vs pointer walk, batch
 #     kernel, tree induction)
 #   - the live engine ingest benchmark at the acceptance shape
 #     (subs=128 / shards=4)
 #   - the Table-3 cleartext stall experiment (train + 10-fold CV)
+#   - the wire protocol: frame encode/decode in isolation (the decode
+#     line's allocs/op must read 0), listener throughput with a no-op
+#     handler, and the wire-vs-HTTP ingest pair on the same live
+#     stream (wire must be >= 2x HTTP entries/s)
 #
 # Usage: scripts/bench.sh [output.json]
 # The JSON maps benchmark name -> {ns_op, allocs_op, bytes_op, extra}
@@ -15,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -23,8 +27,12 @@ echo "== ml forest/induction benchmarks" >&2
 go test -run xxx -bench 'ForestPredictFlat$|ForestPredictPointer$|ForestPredictBatchInto$|ForestPredictBatchParallel$|TreeInduction$|TrainTree$' \
     -benchmem -count=1 -timeout 20m ./internal/ml/ | tee -a "$tmp" >&2
 
-echo "== engine ingest + Table 3 benchmarks" >&2
-go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|Table3StallCleartext$' \
+echo "== wire frame + listener benchmarks" >&2
+go test -run xxx -bench 'FrameDecode$|FrameEncode$|ServerThroughput' \
+    -benchmem -count=1 -timeout 10m ./internal/wire/ | tee -a "$tmp" >&2
+
+echo "== engine ingest, transport pair + Table 3 benchmarks" >&2
+go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|HTTPIngest$|WireIngest$|Table3StallCleartext$' \
     -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
 
 # Parse `go test -bench` lines into JSON. A line looks like:

@@ -11,6 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:18080"
+WADDR="127.0.0.1:19090"
 BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -20,7 +21,7 @@ go build -o "$TMP/qoeserve" ./cmd/qoeserve
 go build -o "$TMP/qoegen" ./cmd/qoegen
 
 echo "== boot qoeserve"
-"$TMP/qoeserve" -addr "$ADDR" -train-n 200 -shards 4 -pprof \
+"$TMP/qoeserve" -addr "$ADDR" -wire "$WADDR" -train-n 200 -shards 4 -pprof \
     -log-level debug >"$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -50,6 +51,28 @@ LABELS=$(grep -o '"labels_accepted":[0-9]*' <<<"$INGEST" | cut -d: -f2)
 echo "   accepted $ACCEPTED entries, $LABELS labels"
 test "$ACCEPTED" -gt 0
 test "${LABELS:-0}" -gt 0
+
+echo "== wire ingest (binary protocol, ack barrier)"
+"$TMP/qoegen" -kind live -subscribers 8 -n 1 -seed 9 -label-rate 0.5 \
+    -wire "$WADDR" 2>"$TMP/wire.log"
+cat "$TMP/wire.log"
+grep -q 'wire sync: server decoded' "$TMP/wire.log" ||
+    { echo "qoegen -wire reported no server ack" >&2; exit 1; }
+curl -fsS "$BASE/debug/sessions" | grep -q '"shards"'
+curl -fsS "$BASE/metrics" >"$TMP/wire-metrics.txt"
+for family in \
+    vqoe_wire_connections_total \
+    vqoe_wire_frames_total \
+    vqoe_wire_entries_total \
+    vqoe_wire_labels_total \
+    vqoe_wire_acks_total \
+    vqoe_wire_stage_duration_seconds; do
+    grep -q "^$family" "$TMP/wire-metrics.txt" ||
+        { echo "missing wire family $family" >&2; exit 1; }
+done
+WIRE_ENTRIES=$(grep '^vqoe_wire_entries_total' "$TMP/wire-metrics.txt" | awk '{print $2}')
+echo "   wire listener decoded $WIRE_ENTRIES entries"
+test "${WIRE_ENTRIES%.*}" -gt 0
 
 echo "== scrape /metrics"
 curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
