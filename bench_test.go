@@ -17,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
 	"vqoe/internal/experiments"
@@ -497,6 +498,43 @@ func BenchmarkQualityOverhead(b *testing.B) {
 					cfg.Quality = core.NewQualityMonitor(fw, shards, qualitymon.Thresholds{})
 				} else {
 					cfg.Quality = nil
+				}
+				eng := engine.New(fw, cfg, func(engine.Report) {})
+				live.Feed(shards, 256, eng.Feed)
+				eng.Drain()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(live.Entries))/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
+}
+
+// BenchmarkCohortRollupOverhead measures what the fleet rollup costs
+// on the engine's hot path: the same live stream as
+// BenchmarkEngineIngest (whose entries carry cohort metadata), with
+// the striped per-cohort MOS quantile rollup either attached
+// (cohorts=on) or left nil (cohorts=off). One Observe per completed
+// session — key build, MOS scoring, and three P² updates under a
+// stripe lock. The acceptance bar is <=2% on entries/s; the measured
+// delta is recorded in EXPERIMENTS.md.
+func BenchmarkCohortRollupOverhead(b *testing.B) {
+	const subs, shards = 128, 4
+	for _, on := range []bool{false, true} {
+		name := "cohorts=off"
+		if on {
+			name = "cohorts=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			fw, live := liveFixture(b, subs)
+			cfg := engine.DefaultConfig()
+			cfg.Shards = shards
+			cfg.Mailbox = 1024
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if on {
+					cfg.Cohorts = cohort.NewRollup(cohort.Config{Shards: shards})
+				} else {
+					cfg.Cohorts = nil
 				}
 				eng := engine.New(fw, cfg, func(engine.Report) {})
 				live.Feed(shards, 256, eng.Feed)

@@ -22,6 +22,14 @@
 // measure online accuracy. -drift skews the population onto degraded
 // network paths — a feature-drift scenario the monitor should flag.
 //
+// Live entries carry cohort metadata (region, device class, quality
+// cap) for the fleet rollup. -hotspot degrades a single region's
+// paths — the regional-outage scenario /debug/cohorts should surface
+// — and -region-skew concentrates subscribers onto one region:
+//
+//	qoegen -kind live -subscribers 500 -n 2 -hotspot eu-west \
+//	    -format jsonl | curl -s --data-binary @- http://127.0.0.1:8080/ingest
+//
 // With -wire the live stream bypasses JSON entirely and is pushed
 // over the binary frame protocol to a qoeserve wire listener, ending
 // with a sync barrier so the exit status reflects delivery:
@@ -55,6 +63,9 @@ func main() {
 		labelRate   = flag.Float64("label-rate", 0, "fraction of live sessions that emit a delayed ground-truth label line")
 		labelDelay  = flag.Float64("label-delay", 120, "mean extra label delay in seconds for -kind live")
 		drift       = flag.Bool("drift", false, "skew the live population onto degraded network paths (feature-drift scenario)")
+		hotspot     = flag.String("hotspot", "", "degrade one region's network paths for -kind live (a regional-outage scenario the cohort rollup should surface)")
+		hotspotSev  = flag.Float64("hotspot-severity", 0.8, "fraction of the -hotspot region's sessions forced onto poor paths, in (0,1]")
+		regionSkew  = flag.Float64("region-skew", 0, "concentrate live subscribers onto the first region: 0 keeps the default mix, 1 puts everyone there")
 		wireAddr    = flag.String("wire", "", "send the -kind live stream to this wire listener (host:port or unix:/path) instead of stdout")
 	)
 	flag.Parse()
@@ -68,6 +79,32 @@ func main() {
 		lcfg.LabelDelayMeanSec = *labelDelay
 		if *drift {
 			lcfg.ProfileWeights = [3]float64{0.05, 0.15, 0.8}
+		}
+		if *hotspot != "" {
+			known := false
+			for _, r := range workload.Regions {
+				known = known || r == *hotspot
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "qoegen: -hotspot %q is not one of %v\n", *hotspot, workload.Regions)
+				os.Exit(1)
+			}
+		}
+		lcfg.HotspotRegion = *hotspot
+		lcfg.HotspotSeverity = *hotspotSev
+		if s := *regionSkew; s != 0 {
+			if s < 0 || s > 1 {
+				fmt.Fprintf(os.Stderr, "qoegen: -region-skew %g out of [0,1]\n", s)
+				os.Exit(1)
+			}
+			// blend the default mix toward a point mass on Regions[0];
+			// cohort draws ride a dedicated RNG stream, so this never
+			// perturbs the traffic itself
+			lcfg.RegionWeights = make([]float64, len(workload.Regions))
+			for i, w := range workload.DefaultRegionWeights {
+				lcfg.RegionWeights[i] = (1 - s) * w
+			}
+			lcfg.RegionWeights[0] += s
 		}
 		live := workload.GenerateLive(lcfg)
 		var err error

@@ -11,6 +11,10 @@
 //	GET  /debug/sessions live per-shard open-session snapshot
 //	GET  /debug/quality  model-quality health: feature drift (PSI),
 //	                     calibration, online accuracy, degradation flags
+//	GET  /debug/cohorts  fleet rollup: per-cohort (region/device/cap)
+//	                     session counts, streaming MOS quantiles, and
+//	                     impairment rates, worst cohort first; -cohort-max
+//	                     caps the tracked-cohort cardinality
 //	GET  /debug/trace    session lifecycle as Chrome trace JSON
 //	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
@@ -75,6 +79,7 @@ func main() {
 		traceCap  = flag.Int("trace-buf", 0, "per-shard lifecycle trace ring capacity (0 = default)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
+		cohortMax = flag.Int("cohort-max", 0, "max distinct cohorts tracked by the fleet rollup before LRU eviction into the overflow bucket (0 = default 64)")
 		psiMax    = flag.Float64("psi-threshold", 0, "PSI above which a feature (or the prediction prior) counts as drifted (0 = default 0.2)")
 		accDrop   = flag.Float64("accuracy-drop", 0, "online-accuracy drop (fraction) that flags degradation (0 = default 0.05)")
 		wireAddr  = flag.String("wire", "", "binary ingest listener TCP address (e.g. 127.0.0.1:9090)")
@@ -105,11 +110,12 @@ func main() {
 		ecfg.Mailbox = *mailbox
 	}
 	srv := pipeline.NewServerOpts(fw, pipeline.Options{
-		Engine:   ecfg,
-		Pprof:    *pprofOn,
-		TraceCap: *traceCap,
-		Logger:   log,
-		Quality:  qualitymon.Thresholds{PSI: *psiMax, AccuracyDrop: *accDrop},
+		Engine:    ecfg,
+		Pprof:     *pprofOn,
+		TraceCap:  *traceCap,
+		Logger:    log,
+		Quality:   qualitymon.Thresholds{PSI: *psiMax, AccuracyDrop: *accDrop},
+		CohortMax: *cohortMax,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -19,6 +19,11 @@
 // them to the model-quality monitor and closes with a model-health
 // summary — feature drift vs the training baseline, calibration, and
 // online accuracy — flagging any tripped degradation threshold.
+//
+// When entries carry cohort metadata (region/device/cap, as qoegen
+// -kind live emits), the run also closes with a "worst cohorts" fleet
+// summary: the five cohorts with the lowest median MOS, with their
+// impairment rates — the same rollup qoeserve serves at /debug/cohorts.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"net/http"
 	"os"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
@@ -78,6 +84,11 @@ func main() {
 	qm := core.NewQualityMonitor(fw, 1, qualitymon.Thresholds{})
 	an.SetQuality(qm)
 	metrics.AttachQuality(qm.Snapshot)
+	// fleet rollup over the serial path: one stripe, same cohort keying
+	// and cardinality cap as qoeserve's sharded engine
+	rollup := cohort.NewRollup(cohort.Config{Shards: 1})
+	an.SetCohorts(rollup)
+	metrics.AttachCohorts(rollup.Snapshot)
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
@@ -143,6 +154,7 @@ func main() {
 		fmt.Fprintf(out, "-- %d ground-truth labels, %d matched\n", labels, sn.Labels.Matched)
 	}
 	printModelHealth(out, sn)
+	printWorstCohorts(out, rollup.Snapshot())
 	log.Debug("stream finished", "entries", lines, "reports", emitted, "labels", labels)
 }
 
@@ -163,6 +175,28 @@ func printModelHealth(w io.Writer, sn qualitymon.Snapshot) {
 		for _, r := range ms.Reasons {
 			fmt.Fprintf(w, "--   degraded: %s\n", r)
 		}
+	}
+}
+
+// printWorstCohorts closes the run with the fleet view an operator
+// pages on: up to five cohorts, worst median MOS first. Streams
+// without cohort metadata produce an empty rollup and no output.
+func printWorstCohorts(w io.Writer, snap *cohort.Snapshot) {
+	if snap == nil || len(snap.Cohorts) == 0 {
+		return
+	}
+	show := snap.Cohorts
+	if len(show) > 5 {
+		show = show[:5]
+	}
+	fmt.Fprintf(w, "-- worst cohorts (%d sessions across %d cohorts):\n", snap.Total, len(snap.Cohorts))
+	for _, st := range show {
+		fmt.Fprintf(w, "--   %-24s mos p50 %.2f (%s)  sessions %-5d stall %.0f%% lowq %.0f%% switch %.0f%%\n",
+			st.Cohort, st.MOSP50, st.Verbal, st.Sessions,
+			100*st.StallRate, 100*st.LowQualityRate, 100*st.SwitchRate)
+	}
+	if snap.Overflow != nil {
+		fmt.Fprintf(w, "--   (+%d sessions in evicted-cohort overflow)\n", snap.Overflow.Sessions)
 	}
 }
 

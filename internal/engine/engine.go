@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
@@ -66,6 +67,12 @@ type Config struct {
 	// core.NewQualityMonitor over the same framework and shard count.
 	// nil (the default) turns quality monitoring off.
 	Quality *qualitymon.Monitor
+	// Cohorts attaches the fleet-level rollup layer: every assessed
+	// session is converted to a MOS and folded into its cohort's
+	// streaming quantiles in the shard's own stripe. Build it with
+	// cohort.NewRollup over the same shard count. nil (the default)
+	// turns rollups off.
+	Cohorts *cohort.Rollup
 }
 
 // DefaultConfig mirrors the serial pipeline's session parameters.
@@ -152,6 +159,10 @@ func (e *Engine) Observer() *obs.Observer { return e.cfg.Obs }
 // Quality returns the attached model-quality monitor (nil when quality
 // monitoring is off).
 func (e *Engine) Quality() *qualitymon.Monitor { return e.cfg.Quality }
+
+// Cohorts returns the attached fleet-rollup layer (nil when rollups
+// are off).
+func (e *Engine) Cohorts() *cohort.Rollup { return e.cfg.Cohorts }
 
 // ObserveLabel feeds one delayed ground-truth label into the quality
 // monitor and reports whether it matched an already-assessed session

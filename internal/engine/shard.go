@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
@@ -56,6 +57,10 @@ type shard struct {
 	// it for delayed ground-truth matching.
 	quality *core.QualityHook
 
+	// cohorts, when non-nil, folds every assessed session's MOS into
+	// its cohort's stripe of the fleet rollup.
+	cohorts *cohort.Rollup
+
 	// worker-goroutine state
 	highWater float64
 	lastSweep float64
@@ -98,6 +103,7 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 	if cfg.Quality != nil {
 		s.quality = &core.QualityHook{Monitor: cfg.Quality, Shard: id}
 	}
+	s.cohorts = cfg.Cohorts
 	if s.tracer != nil {
 		tr, sid := s.tracer, int32(id)
 		s.tracker.OnOpen = func(sub string, start float64) {
@@ -267,6 +273,9 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 			End:        kept[i].End,
 			Report:     r,
 		})
+		if s.cohorts != nil {
+			s.cohorts.Observe(s.id, cohort.FromSession(kept[i].Entries), r)
+		}
 		if s.quality != nil {
 			s.quality.Monitor.TrackPrediction(qualitymon.Prediction{
 				Subscriber: kept[i].Subscriber,

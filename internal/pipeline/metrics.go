@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
@@ -64,6 +65,11 @@ type Metrics struct {
 	// families.
 	wireStats func() wire.Snapshot
 
+	// cohortStats, when attached, supplies the fleet-rollup snapshot
+	// (typically cohort.Rollup.Snapshot) for the vqoe_cohort_*
+	// families. The rollup's cardinality cap bounds the label space.
+	cohortStats func() *cohort.Snapshot
+
 	// runtime controls whether process-introspection gauges
 	// (goroutines, heap, GC pauses) are appended to the exposition.
 	runtime bool
@@ -118,6 +124,14 @@ func (m *Metrics) AttachQuality(fn func() qualitymon.Snapshot) {
 func (m *Metrics) AttachWire(fn func() wire.Snapshot) {
 	m.mu.Lock()
 	m.wireStats = fn
+	m.mu.Unlock()
+}
+
+// AttachCohorts wires the fleet-rollup layer into the exposition; fn
+// is usually (*cohort.Rollup).Snapshot. Pass nil to detach.
+func (m *Metrics) AttachCohorts(fn func() *cohort.Snapshot) {
+	m.mu.Lock()
+	m.cohortStats = fn
 	m.mu.Unlock()
 }
 
@@ -232,6 +246,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if m.wireStats != nil {
 		m.writeWire(e, m.wireStats())
+	}
+	if m.cohortStats != nil {
+		m.writeCohorts(e, m.cohortStats())
 	}
 	if e.err != nil {
 		return e.n, e.err
@@ -410,6 +427,49 @@ func (m *Metrics) writeWire(e *expoWriter, s wire.Snapshot) {
 		e.printf("%s_sum{stage=%q} %g\n", name, st.String(), h.Sum)
 		e.printf("%s_count{stage=%q} %d\n", name, st.String(), h.Count)
 	}
+}
+
+// writeCohorts renders the fleet-rollup families. The cohort label
+// space is hard-bounded: the rollup caps distinct cohorts and folds
+// evictions into a single "overflow" series, and label values are
+// emitted in sorted order so the exposition is deterministic for a
+// given rollup state. Suppressed entirely before the first session.
+func (m *Metrics) writeCohorts(e *expoWriter, snap *cohort.Snapshot) {
+	if snap == nil || (len(snap.Cohorts) == 0 && snap.Overflow == nil) {
+		return
+	}
+	rows := append([]cohort.Stats(nil), snap.Cohorts...)
+	if snap.Overflow != nil {
+		rows = append(rows, *snap.Overflow)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Cohort < rows[j].Cohort })
+
+	e.family("vqoe_cohort_sessions_total", "Sessions assessed per cohort (region/device/cap).", "counter")
+	for _, c := range rows {
+		e.printf("vqoe_cohort_sessions_total{cohort=%q} %d\n", c.Cohort, c.Sessions)
+	}
+
+	e.family("vqoe_cohort_mos", "Streaming per-cohort MOS quantiles (P2 estimates, merged over shards).", "summary")
+	for _, c := range rows {
+		e.printf("vqoe_cohort_mos{cohort=%q,quantile=\"0.1\"} %g\n", c.Cohort, c.MOSP10)
+		e.printf("vqoe_cohort_mos{cohort=%q,quantile=\"0.5\"} %g\n", c.Cohort, c.MOSP50)
+		e.printf("vqoe_cohort_mos{cohort=%q,quantile=\"0.9\"} %g\n", c.Cohort, c.MOSP90)
+		e.printf("vqoe_cohort_mos_sum{cohort=%q} %g\n", c.Cohort, c.MOSMean*float64(c.Sessions))
+		e.printf("vqoe_cohort_mos_count{cohort=%q} %d\n", c.Cohort, c.Sessions)
+	}
+
+	e.family("vqoe_cohort_impaired_total", "Sessions per cohort with a detected impairment, by kind.", "counter")
+	for _, c := range rows {
+		// impairment label values emitted in sorted order
+		e.printf("vqoe_cohort_impaired_total{cohort=%q,impairment=\"low_quality\"} %d\n", c.Cohort, c.LowQuality)
+		e.printf("vqoe_cohort_impaired_total{cohort=%q,impairment=\"stall\"} %d\n", c.Cohort, c.Stalled)
+		e.printf("vqoe_cohort_impaired_total{cohort=%q,impairment=\"switching\"} %d\n", c.Cohort, c.Switched)
+	}
+
+	e.family("vqoe_cohort_capacity", "Configured cohort cardinality cap.", "gauge")
+	e.printf("vqoe_cohort_capacity %d\n", snap.Capacity)
+	e.family("vqoe_cohort_evicted_total", "Distinct cohort keys folded into the overflow bucket by the cap.", "counter")
+	e.printf("vqoe_cohort_evicted_total %d\n", snap.Evicted)
 }
 
 // sortedIdx returns the index permutation that visits names in sorted

@@ -10,6 +10,7 @@ package pipeline
 import (
 	"time"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/features"
 	"vqoe/internal/obs"
@@ -57,6 +58,10 @@ type Analyzer struct {
 	quality *core.QualityHook
 	qsc     core.AnalyzeScratch
 	qobs    [1]features.SessionObs
+
+	// cohorts, when attached, folds every finished session's MOS into
+	// the fleet rollup (as stripe 0).
+	cohorts *cohort.Rollup
 }
 
 // New creates an Analyzer emitting reports from the given framework.
@@ -97,6 +102,14 @@ func (a *Analyzer) SetQuality(m *qualitymon.Monitor) {
 	}
 	a.quality = &core.QualityHook{Monitor: m, Shard: 0}
 }
+
+// SetCohorts attaches a fleet-rollup layer to the serial path: every
+// finished session's assessment folds into its cohort's quantiles as
+// stripe 0, exactly as an engine shard would. Pass nil to detach.
+func (a *Analyzer) SetCohorts(r *cohort.Rollup) { a.cohorts = r }
+
+// Cohorts returns the attached rollup (nil when detached).
+func (a *Analyzer) Cohorts() *cohort.Rollup { return a.cohorts }
 
 // ObserveLabel feeds one delayed ground-truth label to the attached
 // quality monitor, reporting whether it matched a tracked prediction
@@ -191,6 +204,9 @@ func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
 		})
 	} else {
 		rep = a.fw.AnalyzeObs(o, a.stages)
+	}
+	if a.cohorts != nil {
+		a.cohorts.Observe(0, cohort.FromSession(c.Entries), rep)
 	}
 	return SessionReport{
 		Subscriber: c.Subscriber,

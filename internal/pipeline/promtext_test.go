@@ -383,6 +383,10 @@ func TestExpositionValid(t *testing.T) {
 		"vqoe_model_ece", "vqoe_model_labeled_total", "vqoe_model_online_accuracy",
 		"vqoe_model_feature_psi", "vqoe_model_prior_psi", "vqoe_model_baseline_accuracy",
 		"vqoe_model_degraded", "vqoe_quality_labels_total", "vqoe_quality_labels_matched_total",
+		// fleet-rollup families: the live workload carries cohort
+		// metadata, so the rollup must be populated
+		"vqoe_cohort_sessions_total", "vqoe_cohort_mos",
+		"vqoe_cohort_impaired_total", "vqoe_cohort_capacity", "vqoe_cohort_evicted_total",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing from exposition", want)

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 
+	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
@@ -38,6 +39,9 @@ import (
 //	                       the training baseline, prediction priors,
 //	                       calibration, online accuracy, degradation
 //	                       verdicts.
+//	GET  /debug/cohorts  — fleet rollup: per-cohort streaming MOS
+//	                       quantiles and impairment rates, worst
+//	                       cohorts first.
 //	GET  /debug/trace    — session-lifecycle ring as Chrome
 //	                       trace_event JSON (load in chrome://tracing
 //	                       or Perfetto).
@@ -83,6 +87,11 @@ type Options struct {
 	// capture loops, auto-eviction, and Drain. Called from engine
 	// shard goroutines; must be safe for concurrent use.
 	OnReport func(SessionReport)
+	// CohortMax caps the fleet-rollup cohort cardinality (LRU eviction
+	// into an overflow bucket past it; cohort.DefaultMaxCohorts when
+	// <= 0). The rollup itself is always on: every shard feeds it,
+	// /debug/cohorts reports it, and /metrics exports vqoe_cohort_*.
+	CohortMax int
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -107,6 +116,7 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	ecfg.Obs = s.obs
 	qm := core.NewQualityMonitor(fw, ecfg.Shards, opts.Quality)
 	ecfg.Quality = qm
+	ecfg.Cohorts = cohort.NewRollup(cohort.Config{Shards: ecfg.Shards, MaxCohorts: opts.CohortMax})
 	// sink: reports produced outside a request — the wire listener's
 	// Feed path, capture loops, auto-eviction — still hit metrics
 	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
@@ -121,6 +131,7 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	if qm != nil {
 		s.metrics.AttachQuality(qm.Snapshot)
 	}
+	s.metrics.AttachCohorts(ecfg.Cohorts.Snapshot)
 	return s
 }
 
@@ -195,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/labels", s.handleLabels)
 	mux.HandleFunc("/debug/quality", s.handleDebugQuality)
+	mux.HandleFunc("/debug/cohorts", s.handleDebugCohorts)
 	mux.Handle("/metrics", s.metrics.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -232,6 +244,14 @@ func (s *Server) handleDebugQuality(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.eng.Quality().Snapshot())
+}
+
+func (s *Server) handleDebugCohorts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.eng.Cohorts().Snapshot())
 }
 
 // LabelsResponse is the JSON shape of /labels results.

@@ -130,3 +130,94 @@ func (q *P2Quantile) Value() float64 {
 
 // Count reports how many samples have been observed.
 func (q *P2Quantile) Count() int { return q.n }
+
+// Marker is one weighted support point summarizing part of an
+// estimator's observed distribution: Weight samples concentrated
+// around Value. A set of markers from several estimators can be
+// recombined with MergedQuantile.
+type Marker struct {
+	Value  float64
+	Weight float64
+}
+
+// Markers appends the estimator's support points to dst and returns
+// the extended slice. Before five samples the raw observations are
+// emitted with unit weight; afterwards the five P² markers are
+// emitted with trapezoid masses derived from their positions, so the
+// weights always sum to Count(). Marker sets from independent
+// estimators of the same quantile over disjoint stream stripes can be
+// pooled and re-quantiled — the merge primitive for sharded rollups.
+func (q *P2Quantile) Markers(dst []Marker) []Marker {
+	if q.n == 0 {
+		return dst
+	}
+	if q.n < 5 {
+		for i := 0; i < q.n; i++ {
+			dst = append(dst, Marker{Value: q.heights[i], Weight: 1})
+		}
+		return dst
+	}
+	for i := 0; i < 5; i++ {
+		var w float64
+		switch i {
+		case 0:
+			w = (q.pos[1]-q.pos[0])/2 + 0.5
+		case 4:
+			w = (q.pos[4]-q.pos[3])/2 + 0.5
+		default:
+			w = (q.pos[i+1] - q.pos[i-1]) / 2
+		}
+		dst = append(dst, Marker{Value: q.heights[i], Weight: w})
+	}
+	return dst
+}
+
+// MergedQuantile computes the p-th quantile of the distribution
+// described by a pooled set of weighted markers, interpolating
+// linearly between support points. The markers slice is sorted in
+// place by value. Returns 0 for an empty set.
+func MergedQuantile(p float64, markers []Marker) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// in-place insertion sort by value: marker sets are tiny
+	// (5 per stripe) and usually nearly sorted
+	for i := 1; i < len(markers); i++ {
+		for j := i; j > 0 && markers[j].Value < markers[j-1].Value; j-- {
+			markers[j], markers[j-1] = markers[j-1], markers[j]
+		}
+	}
+	var total float64
+	for _, m := range markers {
+		total += m.Weight
+	}
+	if total <= 0 {
+		return 0
+	}
+	// Walk cumulative weight treating each marker as mass centred at
+	// its value; the quantile interpolates between the midpoints of
+	// successive markers, matching the usual weighted-percentile rule.
+	target := p * total
+	var cum float64
+	for i, m := range markers {
+		next := cum + m.Weight
+		mid := cum + m.Weight/2
+		if target <= mid || i == len(markers)-1 {
+			if i == 0 || target >= mid {
+				return m.Value
+			}
+			prev := markers[i-1]
+			prevMid := cum - prev.Weight/2
+			if mid <= prevMid {
+				return m.Value
+			}
+			frac := (target - prevMid) / (mid - prevMid)
+			return prev.Value + frac*(m.Value-prev.Value)
+		}
+		cum = next
+	}
+	return markers[len(markers)-1].Value
+}

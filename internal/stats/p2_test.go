@@ -123,6 +123,202 @@ func TestP2SortedInput(t *testing.T) {
 	}
 }
 
+// rankError measures how far off a quantile estimate is in rank
+// space: the distance from p to the interval [P(X<v), P(X<=v)] over
+// the sample. Rank error is the right metric for arbitrary shapes —
+// on bimodal data a value sitting anywhere in the empty gap between
+// modes is a perfectly good median even though its value distance to
+// the exact order statistic may be large.
+func rankError(xs []float64, v, p float64) float64 {
+	// small value tolerance so a wobble off a discrete atom (float
+	// noise, marker interpolation drift — both ≪ atom spacing) does
+	// not flip that atom's whole probability mass across v
+	eps := 0.01 * (1 + math.Abs(v))
+	below, atOrBelow := 0, 0
+	for _, x := range xs {
+		if x < v-eps {
+			below++
+		}
+		if x <= v+eps {
+			atOrBelow++
+		}
+	}
+	lo := float64(below) / float64(len(xs))
+	hi := float64(atOrBelow) / float64(len(xs))
+	switch {
+	case p < lo:
+		return lo - p
+	case p > hi:
+		return p - hi
+	}
+	return 0
+}
+
+// quantileGens are adversarial sample distributions for the accuracy
+// properties: heavy right skew, a well-separated bimodal mixture, and
+// a discrete atom mixture like the MOS scores the cohort rollup feeds.
+var quantileGens = []struct {
+	name string
+	gen  func(r *Rand) float64
+}{
+	{"lognormal-skew", func(r *Rand) float64 { return r.LogNormal(1, 1.2) }},
+	{"pareto-tail", func(r *Rand) float64 { return r.Pareto(1, 1.5) }},
+	{"bimodal", func(r *Rand) float64 {
+		if r.Bernoulli(0.4) {
+			return r.Normal(2, 0.3)
+		}
+		return r.Normal(40, 2)
+	}},
+	{"atoms", func(r *Rand) float64 {
+		return []float64{1.2, 2.5, 3.4, 4.3}[r.WeightedChoice([]float64{0.1, 0.2, 0.3, 0.4})]
+	}},
+}
+
+// Property: across skewed, bimodal and discrete inputs the estimate
+// stays within a small rank tolerance of the exact sorted-sample
+// quantile.
+func TestP2AccuracyAcrossShapes(t *testing.T) {
+	const n = 20000
+	for gi, g := range quantileGens {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			r := NewRand(int64(100 + gi))
+			q := NewP2Quantile(p)
+			xs := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				x := g.gen(r)
+				xs = append(xs, x)
+				q.Observe(x)
+			}
+			if re := rankError(xs, q.Value(), p); re > 0.05 {
+				t.Errorf("%s p=%v: estimate %v has rank error %v, exact %v",
+					g.name, p, q.Value(), re, exactQuantile(xs, p))
+			}
+		}
+	}
+}
+
+// Property: merging striped estimators through Markers/MergedQuantile
+// approximates the quantile of the combined stream — merge(a,b,...)
+// must agree with one estimator that saw everything.
+func TestP2StripedMergeMatchesCombined(t *testing.T) {
+	const n = 24000
+	for gi, g := range quantileGens {
+		for _, stripes := range []int{1, 4, 16} {
+			for _, p := range []float64{0.1, 0.5, 0.9} {
+				r := NewRand(int64(200 + gi))
+				qs := make([]*P2Quantile, stripes)
+				for i := range qs {
+					qs[i] = NewP2Quantile(p)
+				}
+				xs := make([]float64, 0, n)
+				for i := 0; i < n; i++ {
+					x := g.gen(r)
+					xs = append(xs, x)
+					qs[i%stripes].Observe(x)
+				}
+				var ms []Marker
+				var totalW float64
+				for _, q := range qs {
+					ms = q.Markers(ms)
+				}
+				for _, m := range ms {
+					totalW += m.Weight
+				}
+				if math.Abs(totalW-n) > 1e-6 {
+					t.Fatalf("%s stripes=%d: marker weights sum to %v, want %d",
+						g.name, stripes, totalW, n)
+				}
+				got := MergedQuantile(p, ms)
+				if re := rankError(xs, got, p); re > 0.06 {
+					t.Errorf("%s stripes=%d p=%v: merged %v has rank error %v, exact %v",
+						g.name, stripes, p, got, re, exactQuantile(xs, p))
+				}
+			}
+		}
+	}
+}
+
+// Property: uneven stripes (one hot stripe, several nearly idle ones,
+// some below the 5-sample initialization threshold) still merge
+// correctly — the shape a sharded engine actually produces.
+func TestP2MergeUnevenStripes(t *testing.T) {
+	r := NewRand(42)
+	counts := []int{9000, 3, 1, 120, 0}
+	qs := make([]*P2Quantile, len(counts))
+	for i := range qs {
+		qs[i] = NewP2Quantile(0.5)
+	}
+	var xs []float64
+	for si, c := range counts {
+		for i := 0; i < c; i++ {
+			x := r.LogNormal(2, 0.7)
+			xs = append(xs, x)
+			qs[si].Observe(x)
+		}
+	}
+	var ms []Marker
+	for _, q := range qs {
+		ms = q.Markers(ms)
+	}
+	got := MergedQuantile(0.5, ms)
+	if re := rankError(xs, got, 0.5); re > 0.05 {
+		t.Errorf("uneven merge median %v has rank error %v, exact %v",
+			got, re, exactQuantile(xs, 0.5))
+	}
+}
+
+func TestMergedQuantileEdgeCases(t *testing.T) {
+	if v := MergedQuantile(0.5, nil); v != 0 {
+		t.Errorf("empty marker set: %v", v)
+	}
+	one := []Marker{{Value: 7, Weight: 3}}
+	if v := MergedQuantile(0.9, one); v != 7 {
+		t.Errorf("single marker: %v", v)
+	}
+	two := []Marker{{Value: 10, Weight: 1}, {Value: 0, Weight: 1}}
+	if v := MergedQuantile(0.5, two); v != 5 {
+		t.Errorf("two equal markers median: %v (want midpoint 5)", v)
+	}
+	for _, p := range []float64{-1, 0, 1, 2} {
+		ms := []Marker{{Value: 1, Weight: 1}, {Value: 2, Weight: 1}}
+		v := MergedQuantile(p, ms)
+		if v < 1 || v > 2 {
+			t.Errorf("p=%v: %v outside marker range", p, v)
+		}
+	}
+}
+
+// Property: a merged estimate lies within the pooled min/max.
+func TestMergedQuantileBoundedProperty(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Abs(math.Mod(pRaw, 1))
+		qs := [3]*P2Quantile{NewP2Quantile(p), NewP2Quantile(p), NewP2Quantile(p)}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range xs {
+			qs[i%3].Observe(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		var ms []Marker
+		for _, q := range qs {
+			ms = q.Markers(ms)
+		}
+		v := MergedQuantile(p, ms)
+		return v >= lo-1e-9 && v <= hi+1e-9 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkP2Observe(b *testing.B) {
 	r := NewRand(3)
 	q := NewP2Quantile(0.9)

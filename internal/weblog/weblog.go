@@ -58,6 +58,15 @@ type Entry struct {
 	// Proxy cache/compression markers; such entries are removed during
 	// data preparation (§3.3).
 	Cached, Compressed bool
+
+	// Operator-side subscriber metadata joined onto the traffic feed:
+	// serving region, device class, and the plan's quality cap. These
+	// never come from the packets themselves — an ISP joins them from
+	// its subscriber database — and they key the fleet-level cohort
+	// rollups. Optional; absent on captures without a metadata join.
+	Region string `json:",omitempty"`
+	Device string `json:",omitempty"`
+	Cap    string `json:",omitempty"`
 }
 
 // IsVideoHost reports whether the entry hits the media delivery CDN
@@ -104,6 +113,9 @@ type Options struct {
 	Encrypted bool
 	// TimeOffset shifts the session onto the subscriber timeline.
 	TimeOffset float64
+	// Region, Device and Cap stamp the subscriber-metadata cohort
+	// fields onto every entry (empty = no metadata join).
+	Region, Device, Cap string
 }
 
 // FromTrace renders a session into its weblog entries, chunks and
@@ -123,6 +135,9 @@ func FromTrace(tr *player.SessionTrace, opts Options) []Entry {
 			Encrypted:      opts.Encrypted,
 			ServerPort:     port,
 			TransactionSec: 0.05,
+			Region:         opts.Region,
+			Device:         opts.Device,
+			Cap:            opts.Cap,
 		}
 		switch sig.Kind {
 		case player.SignalPageLoad:
@@ -166,6 +181,9 @@ func FromTrace(tr *player.SessionTrace, opts Options) []Entry {
 			BIFMax:         c.Stats.BIFMax,
 			LossPct:        c.Stats.LossPct,
 			RetransPct:     c.Stats.RetransPct,
+			Region:         opts.Region,
+			Device:         opts.Device,
+			Cap:            opts.Cap,
 		}
 		if !opts.Encrypted {
 			e.URI = chunkURI(tr, c)

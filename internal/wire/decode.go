@@ -189,6 +189,21 @@ func (d *Decoder) decodeEntry(b []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if fl&entryCohort != 0 {
+		var region, device, cp []byte
+		if region, b, err = takeString(b); err == nil {
+			if device, b, err = takeString(b); err == nil {
+				cp, b, err = takeString(b)
+			}
+		}
+		if err != nil {
+			d.entries = d.entries[:len(d.entries)-1]
+			return nil, err
+		}
+		en.Region = d.intern(region)
+		en.Device = d.intern(device)
+		en.Cap = d.intern(cp)
+	}
 	return b, nil
 }
 

@@ -165,6 +165,10 @@ func appendEntry(dst []byte, en *weblog.Entry) []byte {
 	if en.Compressed {
 		fl |= entryCompressed
 	}
+	cohort := en.Region != "" || en.Device != "" || en.Cap != ""
+	if cohort {
+		fl |= entryCohort
+	}
 	dst = append(dst, fl)
 	dst = appendUint(dst, en.ServerPort)
 	dst = appendUint(dst, en.Bytes)
@@ -178,6 +182,11 @@ func appendEntry(dst []byte, en *weblog.Entry) []byte {
 	dst = appendFloat(dst, en.BIFMax)
 	dst = appendFloat(dst, en.LossPct)
 	dst = appendFloat(dst, en.RetransPct)
+	if cohort {
+		dst = appendString(dst, en.Region)
+		dst = appendString(dst, en.Device)
+		dst = appendString(dst, en.Cap)
+	}
 	return dst
 }
 

@@ -28,10 +28,15 @@
 //
 //	kind 1 (entry): subscriber, host, uri, server_ip as
 //	  uvarint-length-prefixed strings; flag byte (bit 0 encrypted,
-//	  bit 1 cached, bit 2 compressed); server_port, bytes as uvarints;
-//	  then 10 little-endian float64s: timestamp, transaction_sec,
-//	  rtt_min, rtt_avg, rtt_max, bdp, bif_avg, bif_max, loss_pct,
-//	  retrans_pct.
+//	  bit 1 cached, bit 2 compressed, bit 3 cohort metadata present);
+//	  server_port, bytes as uvarints; then 10 little-endian float64s:
+//	  timestamp, transaction_sec, rtt_min, rtt_avg, rtt_max, bdp,
+//	  bif_avg, bif_max, loss_pct, retrans_pct. When flag bit 3 is set,
+//	  three further uvarint-length-prefixed strings follow: region,
+//	  device, cap — the operator-side subscriber metadata keying the
+//	  cohort rollups. Encoders omit the suffix (and clear the bit) for
+//	  entries without metadata, so pre-cohort streams are bit-for-bit
+//	  valid current streams.
 //
 //	kind 2 (label): subscriber as a uvarint-length-prefixed string;
 //	  3 little-endian float64s: start, end, available_at; stall, rep
@@ -96,6 +101,7 @@ const (
 	entryEncrypted  = 1 << 0
 	entryCached     = 1 << 1
 	entryCompressed = 1 << 2
+	entryCohort     = 1 << 3
 )
 
 // Header is one parsed frame header.

@@ -30,6 +30,12 @@ func testEntries() []weblog.Entry {
 			Timestamp: 2, Subscriber: "sub-2", Host: "www.youtube.com",
 			Encrypted: true, ServerIP: "203.0.113.10", ServerPort: 443,
 			Bytes: 4096, TransactionSec: 0.1, RTTAvg: 0.03,
+			Region: "eu-west", Device: "mobile", Cap: "hd",
+		},
+		// partial cohort metadata still sets the cohort flag bit
+		{
+			Timestamp: 2.5, Subscriber: "sub-3", Host: "www.youtube.com",
+			Encrypted: true, ServerPort: 443, Region: "apac",
 		},
 		// zero entry: every field at its zero value must survive
 		{},
@@ -80,6 +86,31 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gotL, wantL) {
 		t.Errorf("labels round-trip:\n got %+v\nwant %+v", gotL, wantL)
+	}
+}
+
+// Entries without subscriber metadata must encode exactly as the
+// pre-cohort protocol did: flag bit 3 clear, no trailing strings — so
+// old captures and old peers interoperate unchanged.
+func TestEntryCohortSuffixOptional(t *testing.T) {
+	plain := testEntries()[0]
+	tagged := plain
+	tagged.Region, tagged.Device, tagged.Cap = "eu-west", "mobile", "hd"
+	pb := appendEntry(nil, &plain)
+	tb := appendEntry(nil, &tagged)
+	wantExtra := 3 + len("eu-west") + len("mobile") + len("hd")
+	if len(tb)-len(pb) != wantExtra {
+		t.Errorf("cohort suffix adds %d bytes, want %d", len(tb)-len(pb), wantExtra)
+	}
+	// a frame of metadata-free entries decodes on the current decoder
+	// with all cohort fields empty
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, []weblog.Entry{plain}, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotE, _ := decodeStream(t, &buf)
+	if len(gotE) != 1 || gotE[0].Region != "" || gotE[0].Device != "" || gotE[0].Cap != "" {
+		t.Errorf("metadata-free entry decoded as %+v", gotE)
 	}
 }
 

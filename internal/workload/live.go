@@ -58,6 +58,52 @@ type LiveConfig struct {
 	// six-rung ladder. The zero value keeps the historical
 	// {0.05, 0.2, 0.3, 0.32, 0.09, 0.04} mix.
 	QualityCapWeights [6]float64
+
+	// RegionWeights and DeviceWeights bias the per-subscriber cohort
+	// assignment over Regions and Devices (zero value = defaults).
+	// Cohort draws come from a dedicated RNG stream, so changing these
+	// weights never perturbs the traffic content of the entry stream
+	// for a given seed — only the metadata stamped onto it.
+	RegionWeights []float64
+	DeviceWeights []float64
+	// HotspotRegion, when set, degrades that region's network-path mix:
+	// its subscribers draw bandwidth profiles skewed onto poor paths
+	// with probability HotspotSeverity (default 0.8). This is the
+	// "which cell is hurting?" demo scenario — one cohort's MOS
+	// quantiles collapse while the rest of the fleet stays healthy.
+	HotspotRegion string
+	// HotspotSeverity is the poor-path probability inside the hotspot
+	// region, in (0, 1]. Zero means 0.8.
+	HotspotSeverity float64
+}
+
+// Regions is the serving-region vocabulary of the generated
+// subscriber-metadata join, with DefaultRegionWeights as its mix.
+var Regions = []string{"us-east", "us-west", "eu-west", "eu-central", "apac"}
+
+// DefaultRegionWeights is the region mix when LiveConfig leaves
+// RegionWeights nil.
+var DefaultRegionWeights = []float64{0.3, 0.2, 0.25, 0.15, 0.1}
+
+// Devices is the device-class vocabulary of the metadata join, with
+// DefaultDeviceWeights as its mix.
+var Devices = []string{"tv", "desktop", "mobile", "tablet"}
+
+// DefaultDeviceWeights is the device mix when LiveConfig leaves
+// DeviceWeights nil.
+var DefaultDeviceWeights = []float64{0.2, 0.3, 0.35, 0.15}
+
+// CapBucket folds a session's quality cap into the coarse plan tier
+// used as the third cohort dimension.
+func CapBucket(q video.Quality) string {
+	switch {
+	case q >= video.Q720:
+		return "hd"
+	case q >= video.Q360:
+		return "sd"
+	default:
+		return "ld"
+	}
 }
 
 // DefaultLiveConfig returns a small but genuinely concurrent
@@ -166,14 +212,41 @@ func GenerateLive(cfg LiveConfig) *Live {
 // changing its rate) leaves the entry stream byte-identical for a seed.
 const labelSeedSalt = 0x6c61626c // "labl"
 
+// cohortSeedSalt derives the cohort-assignment RNG stream from the
+// subscriber seed, isolating metadata draws from traffic draws the
+// same way labelSeedSalt does: reweighting cohorts leaves the entry
+// stream's traffic content byte-identical for a seed.
+const cohortSeedSalt = 0x636f686f // "coho"
+
 // liveSubscriber renders one subscriber's session sequence plus its
 // delayed ground-truth labels (empty unless cfg.LabelRate > 0).
 func liveSubscriber(cfg LiveConfig, catalog *video.Catalog, seed int64, idx int) ([]weblog.Entry, []SessionLabel) {
 	r := stats.NewRand(seed)
 	rl := stats.NewRand(seed ^ labelSeedSalt)
+	rc := stats.NewRand(seed ^ cohortSeedSalt)
+	regionW := cfg.RegionWeights
+	if len(regionW) != len(Regions) {
+		regionW = DefaultRegionWeights
+	}
+	deviceW := cfg.DeviceWeights
+	if len(deviceW) != len(Devices) {
+		deviceW = DefaultDeviceWeights
+	}
+	region := Regions[rc.WeightedChoice(regionW)]
+	device := Devices[rc.WeightedChoice(deviceW)]
 	profW := cfg.ProfileWeights[:]
 	if cfg.ProfileWeights == ([3]float64{}) {
 		profW = []float64{0.6, 0.3, 0.1}
+	}
+	if region == cfg.HotspotRegion && cfg.HotspotRegion != "" {
+		sev := cfg.HotspotSeverity
+		if sev <= 0 || sev > 1 {
+			sev = 0.8
+		}
+		// WeightedChoice consumes exactly one draw whatever the weights,
+		// so degrading the hotspot's path mix keeps every other
+		// subscriber's stream untouched.
+		profW = []float64{(1 - sev) * 0.6, (1 - sev) * 0.4, sev}
 	}
 	capW := cfg.QualityCapWeights[:]
 	if cfg.QualityCapWeights == ([6]float64{}) {
@@ -202,6 +275,9 @@ func liveSubscriber(cfg LiveConfig, catalog *video.Catalog, seed int64, idx int)
 			Subscriber: sub,
 			Encrypted:  true,
 			TimeOffset: offset,
+			Region:     region,
+			Device:     device,
+			Cap:        CapBucket(pcfg.MaxQuality),
 		})...)
 		if labeled := rl.Float64() < cfg.LabelRate; labeled && len(out) > pre {
 			seg := out[pre:]

@@ -67,6 +67,124 @@ func TestGenerateLiveDeterministic(t *testing.T) {
 	}
 }
 
+func TestGenerateLiveCohortAssignment(t *testing.T) {
+	l := smallLive(t)
+	regions := map[string]bool{}
+	for _, r := range Regions {
+		regions[r] = true
+	}
+	devices := map[string]bool{}
+	for _, d := range Devices {
+		devices[d] = true
+	}
+	for _, es := range l.PerSubscriber {
+		reg, dev := es[0].Region, es[0].Device
+		if !regions[reg] || !devices[dev] {
+			t.Fatalf("cohort %q/%q outside vocabulary", reg, dev)
+		}
+		for _, e := range es {
+			if e.Region != reg || e.Device != dev {
+				t.Fatalf("subscriber %s changes cohort mid-stream", e.Subscriber)
+			}
+			switch e.Cap {
+			case "ld", "sd", "hd":
+			default:
+				t.Fatalf("cap bucket %q", e.Cap)
+			}
+		}
+	}
+}
+
+// stripCohort clears the metadata fields so traffic content can be
+// compared across differently-weighted cohort configurations.
+func stripCohort(es []weblog.Entry) []weblog.Entry {
+	out := append([]weblog.Entry(nil), es...)
+	for i := range out {
+		out[i].Region, out[i].Device, out[i].Cap = "", "", ""
+	}
+	return out
+}
+
+// Reweighting the cohort draw must not perturb the traffic content:
+// the metadata comes from a dedicated RNG stream (cohortSeedSalt), so
+// only the stamped labels may change.
+func TestCohortReweightLeavesTrafficIdentical(t *testing.T) {
+	cfg := DefaultLiveConfig()
+	cfg.Subscribers = 8
+	cfg.SessionsPerSubscriber = 2
+	cfg.Seed = 7
+	base := GenerateLive(cfg)
+
+	cfg.RegionWeights = []float64{1, 0, 0, 0, 0}
+	cfg.DeviceWeights = []float64{0, 0, 1, 0}
+	skew := GenerateLive(cfg)
+
+	a, b := stripCohort(base.Entries), stripCohort(skew.Entries)
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d traffic content differs under cohort reweight", i)
+		}
+	}
+	for _, e := range skew.Entries {
+		if e.Region != "us-east" || e.Device != "mobile" {
+			t.Fatalf("skewed weights produced cohort %s/%s", e.Region, e.Device)
+		}
+	}
+}
+
+// A hotspot region degrades only its own subscribers' traffic; every
+// other subscriber's stream stays byte-identical to the baseline.
+func TestHotspotDegradesOnlyItsRegion(t *testing.T) {
+	cfg := DefaultLiveConfig()
+	cfg.Subscribers = 24
+	cfg.SessionsPerSubscriber = 1
+	cfg.Seed = 11
+	base := GenerateLive(cfg)
+
+	cfg.HotspotRegion = "eu-west"
+	cfg.HotspotSeverity = 1 // every hotspot session on a poor path
+	hot := GenerateLive(cfg)
+
+	inHotspot, differs := 0, 0
+	for i := range base.PerSubscriber {
+		b, h := base.PerSubscriber[i], hot.PerSubscriber[i]
+		if b[0].Region != h[0].Region {
+			t.Fatalf("hotspot changed subscriber %d's region assignment", i)
+		}
+		if h[0].Region == "eu-west" {
+			inHotspot++
+			if len(b) != len(h) {
+				differs++
+				continue
+			}
+			for j := range b {
+				if b[j] != h[j] {
+					differs++
+					break
+				}
+			}
+			continue
+		}
+		if len(b) != len(h) {
+			t.Fatalf("hotspot changed entry count for subscriber %d outside the region", i)
+		}
+		for j := range b {
+			if b[j] != h[j] {
+				t.Fatalf("hotspot perturbed subscriber %d outside the region", i)
+			}
+		}
+	}
+	if inHotspot == 0 {
+		t.Skip("no subscriber landed in the hotspot region for this seed")
+	}
+	if differs == 0 {
+		t.Error("full-severity hotspot left every affected stream unchanged")
+	}
+}
+
 func TestLivePartitionPreservesOrder(t *testing.T) {
 	l := smallLive(t)
 	parts := l.Partition(3)

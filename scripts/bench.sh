@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance suite and emit BENCH_PR6.json.
+# bench.sh — run the performance suite and emit BENCH_PR7.json.
 #
 # Covers the layers the perf-sensitive PRs touch:
 #   - internal/ml forest benchmarks (flat vs pointer walk, batch
@@ -11,6 +11,8 @@
 #     line's allocs/op must read 0), listener throughput with a no-op
 #     handler, and the wire-vs-HTTP ingest pair on the same live
 #     stream (wire must be >= 2x HTTP entries/s)
+#   - the fleet cohort rollup on/off pair on the same live stream
+#     (the on/off entries/s delta must stay <= 2%)
 #
 # Usage: scripts/bench.sh [output.json]
 # The JSON maps benchmark name -> {ns_op, allocs_op, bytes_op, extra}
@@ -19,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -32,7 +34,7 @@ go test -run xxx -bench 'FrameDecode$|FrameEncode$|ServerThroughput' \
     -benchmem -count=1 -timeout 10m ./internal/wire/ | tee -a "$tmp" >&2
 
 echo "== engine ingest, transport pair + Table 3 benchmarks" >&2
-go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|HTTPIngest$|WireIngest$|Table3StallCleartext$' \
+go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|HTTPIngest$|WireIngest$|CohortRollupOverhead|Table3StallCleartext$' \
     -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
 
 # Parse `go test -bench` lines into JSON. A line looks like:

@@ -129,6 +129,35 @@ print("   models:", ", ".join(f"{m['model']}={m['status']}" for m in models),
       f"(labels total={doc['labels']['total']} matched={doc['labels']['matched']})")
 PY
 
+echo "== fleet cohort rollup"
+curl -fsS "$BASE/debug/cohorts" >"$TMP/cohorts.json"
+# well-formed JSON: every cohort row carries a key, a session count,
+# and MOS quantiles inside the scale; totals reconcile with the rows
+python3 - "$TMP/cohorts.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cohorts = doc["cohorts"]
+assert cohorts, "live traffic carried cohort metadata but the rollup is empty"
+assert doc["capacity"] > 0, "rollup reports no cardinality cap"
+total = 0
+for c in cohorts:
+    assert c["cohort"], "cohort row without a key"
+    assert c["sessions"] > 0, f"empty cohort row {c['cohort']}"
+    for q in ("mos_p10", "mos_p50", "mos_p90"):
+        assert 1.0 <= c[q] <= 5.0, f"{c['cohort']} {q}={c[q]} outside the MOS scale"
+    total += c["sessions"]
+if doc.get("overflow"):
+    total += doc["overflow"]["sessions"]
+assert total == doc["total_sessions"], \
+    f"rows sum to {total}, document says {doc['total_sessions']}"
+worst = cohorts[0]
+print(f"   {len(cohorts)} cohorts over {doc['total_sessions']} sessions,",
+      f"worst {worst['cohort']} p50={worst['mos_p50']:.2f} ({worst['verbal']})")
+PY
+grep -q '^vqoe_cohort_sessions_total' "$TMP/metrics.txt" ||
+    curl -fsS "$BASE/metrics" | grep -q '^vqoe_cohort_sessions_total' ||
+    { echo "missing family vqoe_cohort_sessions_total" >&2; exit 1; }
+
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 echo "== smoke ok"
