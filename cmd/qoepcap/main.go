@@ -6,7 +6,11 @@
 //
 //	qoepcap -analyze capture.pcap [-hosts map.txt]   run the passive
 //	  measurement chain on a capture: flow metering → session
-//	  reconstruction → QoE reports.
+//	  reconstruction → QoE reports. The session flight recorder rides
+//	  along: sessions kept by a retention policy (stalled, worst MOS
+//	  decile, low confidence, uniform sample) close the run with a
+//	  "worst sessions" report; -flight-sample tunes the uniform
+//	  sample, -no-flight disables recording.
 //
 //	qoepcap -replay capture.pcap -wire 127.0.0.1:9090   stream the
 //	  capture through the incremental flow meter and push the
@@ -23,14 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"vqoe/internal/core"
-	"vqoe/internal/features"
+	"vqoe/internal/flight"
 	"vqoe/internal/packet"
 	"vqoe/internal/pcapio"
-	"vqoe/internal/sessionizer"
+	"vqoe/internal/pipeline"
 	"vqoe/internal/stats"
 	"vqoe/internal/weblog"
 	"vqoe/internal/wire"
@@ -47,6 +52,8 @@ func main() {
 		sessions = flag.Int("sessions", 20, "sessions to synthesize for -export")
 		seed     = flag.Int64("seed", 1, "seed")
 		trainN   = flag.Int("train-n", 800, "training corpus size for -analyze")
+		flightN  = flag.Int("flight-sample", 0, "flight recorder uniform sample for -analyze: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
+		noFlight = flag.Bool("no-flight", false, "disable the session flight recorder for -analyze")
 	)
 	flag.Parse()
 
@@ -57,7 +64,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *analyze != "":
-		if err := doAnalyze(*analyze, *hosts, *trainN, *seed); err != nil {
+		if err := doAnalyze(*analyze, *hosts, *trainN, *seed, *flightN, *noFlight); err != nil {
 			fmt.Fprintln(os.Stderr, "qoepcap:", err)
 			os.Exit(1)
 		}
@@ -140,7 +147,7 @@ func openCapture(path, hostsPath string) (*os.File, *pcapio.Reader, error) {
 	return f, r, nil
 }
 
-func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
+func doAnalyze(path, hostsPath string, trainN int, seed int64, flightN int, noFlight bool) error {
 	f, r, err := openCapture(path, hostsPath)
 	if err != nil {
 		return err
@@ -169,21 +176,42 @@ func doAnalyze(path, hostsPath string, trainN int, seed int64) error {
 		return err
 	}
 
-	groups := sessionizer.Group(entries, sessionizer.DefaultConfig())
-	n := 0
-	for _, s := range groups {
-		if len(s.MediaIndices(entries)) < 3 {
-			continue
-		}
-		sub := make([]weblog.Entry, 0, len(s.Indices))
-		for _, i := range s.Indices {
-			sub = append(sub, entries[i])
-		}
-		rep := fw.Analyze(features.FromEntries(sub))
-		n++
-		fmt.Printf("session %2d  t=%8.1fs  %s\n", n, s.Start, rep)
+	// stream through the serial analyzer — the same incremental flow
+	// table the live engine shards — so the flight recorder sees the
+	// capture exactly as a deployment would
+	an := pipeline.New(fw, pipeline.DefaultConfig())
+	rec := flight.New(flight.Config{Shards: 1, SampleN: flightN, Disabled: noFlight})
+	if rec != nil {
+		an.SetFlight(rec)
 	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Timestamp < entries[j].Timestamp })
+	n := 0
+	emit := func(reports []pipeline.SessionReport) {
+		for _, rep := range reports {
+			n++
+			fmt.Printf("session %2d  t=%8.1fs  %s\n", n, rep.Start, rep.Report)
+		}
+	}
+	for _, e := range entries {
+		emit(an.Push(e))
+	}
+	emit(an.Flush())
 	fmt.Printf("\n%d sessions assessed\n", n)
+
+	if rec != nil {
+		if snap := rec.Snapshot(); len(snap.Retained) > 0 {
+			fmt.Printf("\nworst sessions (%d retained of %d recorded):\n",
+				snap.Counters.Retained, snap.Counters.Recorded)
+			worst := snap.Retained
+			if len(worst) > 5 {
+				worst = worst[:5]
+			}
+			for _, s := range worst {
+				fmt.Printf("  %-28s mos %.2f (%s)  stall %-13s kept: %s\n",
+					s.ID, s.MOS, s.Verbal, s.Stall, strings.Join(s.Reasons, ","))
+			}
+		}
+	}
 	return nil
 }
 

@@ -16,6 +16,15 @@
 //	                     impairment rates, worst cohort first; -cohort-max
 //	                     caps the tracked-cohort cardinality
 //	GET  /debug/trace    session lifecycle as Chrome trace JSON
+//	GET  /debug/flight   session flight recorder: tail-sampled
+//	                     per-session timelines, worst sessions first;
+//	                     /debug/flight/{subscriber}/{session} serves one
+//	                     retained timeline (?format=trace for Chrome
+//	                     trace JSON). -flight-sample and
+//	                     -flight-max-bytes tune it; -flight-sample -1
+//	                     with no other policy change disables only the
+//	                     uniform sample, -no-flight turns the recorder
+//	                     off entirely.
 //	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
 // Models are loaded from files written by qoetrain, or trained on a
@@ -58,6 +67,7 @@ import (
 
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/pcapio"
 	"vqoe/internal/pipeline"
@@ -68,24 +78,27 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		stallPath = flag.String("stall", "", "trained stall model")
-		repPath   = flag.String("rep", "", "trained representation model")
-		trainN    = flag.Int("train-n", 800, "synthetic training size when no models given")
-		seed      = flag.Int64("seed", 1, "training seed")
-		shards    = flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
-		mailbox   = flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		traceCap  = flag.Int("trace-buf", 0, "per-shard lifecycle trace ring capacity (0 = default)")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat = flag.String("log-format", "text", "log format: text or json")
-		cohortMax = flag.Int("cohort-max", 0, "max distinct cohorts tracked by the fleet rollup before LRU eviction into the overflow bucket (0 = default 64)")
-		psiMax    = flag.Float64("psi-threshold", 0, "PSI above which a feature (or the prediction prior) counts as drifted (0 = default 0.2)")
-		accDrop   = flag.Float64("accuracy-drop", 0, "online-accuracy drop (fraction) that flags degradation (0 = default 0.05)")
-		wireAddr  = flag.String("wire", "", "binary ingest listener TCP address (e.g. 127.0.0.1:9090)")
-		wireUnix  = flag.String("wire-unix", "", "binary ingest listener unix socket path")
-		pcapPath  = flag.String("pcap", "", "replay this capture through the flow meter into the engine at startup")
-		pcapHosts = flag.String("pcap-hosts", "", "ip→host map for -pcap (default <pcap>.hosts)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		stallPath   = flag.String("stall", "", "trained stall model")
+		repPath     = flag.String("rep", "", "trained representation model")
+		trainN      = flag.Int("train-n", 800, "synthetic training size when no models given")
+		seed        = flag.Int64("seed", 1, "training seed")
+		shards      = flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
+		mailbox     = flag.Int("mailbox", 0, "per-shard mailbox depth (0 = default)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceCap    = flag.Int("trace-buf", 0, "per-shard lifecycle trace ring capacity (0 = default)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		cohortMax   = flag.Int("cohort-max", 0, "max distinct cohorts tracked by the fleet rollup before LRU eviction into the overflow bucket (0 = default 64)")
+		psiMax      = flag.Float64("psi-threshold", 0, "PSI above which a feature (or the prediction prior) counts as drifted (0 = default 0.2)")
+		accDrop     = flag.Float64("accuracy-drop", 0, "online-accuracy drop (fraction) that flags degradation (0 = default 0.05)")
+		flightN     = flag.Int("flight-sample", 0, "flight recorder uniform sample: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
+		flightBytes = flag.Int64("flight-max-bytes", 0, "flight recorder per-shard byte budget for retained timelines (0 = default 8MiB)")
+		noFlight    = flag.Bool("no-flight", false, "disable the session flight recorder entirely")
+		wireAddr    = flag.String("wire", "", "binary ingest listener TCP address (e.g. 127.0.0.1:9090)")
+		wireUnix    = flag.String("wire-unix", "", "binary ingest listener unix socket path")
+		pcapPath    = flag.String("pcap", "", "replay this capture through the flow meter into the engine at startup")
+		pcapHosts   = flag.String("pcap-hosts", "", "ip→host map for -pcap (default <pcap>.hosts)")
 	)
 	flag.Parse()
 
@@ -116,6 +129,11 @@ func main() {
 		Logger:    log,
 		Quality:   qualitymon.Thresholds{PSI: *psiMax, AccuracyDrop: *accDrop},
 		CohortMax: *cohortMax,
+		Flight: flight.Config{
+			SampleN:  *flightN,
+			MaxBytes: *flightBytes,
+			Disabled: *noFlight,
+		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -170,6 +188,21 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 		flushed := srv.Drain()
 		log.Info("drained", "flushed_sessions", len(flushed))
+		if fr := srv.Flight(); fr != nil {
+			snap := fr.Snapshot()
+			log.Info("flight recorder",
+				"recorded", snap.Counters.Recorded, "retained", snap.Counters.Retained,
+				"resident", snap.Counters.Resident, "evicted", snap.Counters.Evicted)
+			worst := snap.Retained
+			if len(worst) > 5 {
+				worst = worst[:5]
+			}
+			for _, sess := range worst {
+				log.Info("worst retained session", "id", sess.ID, "mos", sess.MOS,
+					"verbal", sess.Verbal, "stall", sess.Stall,
+					"reasons", strings.Join(sess.Reasons, ","))
+			}
+		}
 	}()
 
 	log.Info("listening", "addr", *addr, "shards", srv.Engine().Shards(), "pprof", *pprofOn)

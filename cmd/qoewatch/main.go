@@ -24,6 +24,12 @@
 // -kind live emits), the run also closes with a "worst cohorts" fleet
 // summary: the five cohorts with the lowest median MOS, with their
 // impairment rates — the same rollup qoeserve serves at /debug/cohorts.
+//
+// A session flight recorder rides the same path: sessions that stall,
+// score in the worst MOS decile, confuse a detector, or land on the
+// uniform 1-in-N sample keep their full event timeline, and the run
+// closes with a "worst sessions" report naming them. -flight-sample
+// and -flight-max-bytes tune it; -no-flight turns it off.
 package main
 
 import (
@@ -36,9 +42,11 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/qualitymon"
@@ -56,6 +64,10 @@ func main() {
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
+
+		flightN     = flag.Int("flight-sample", 0, "flight recorder uniform sample: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
+		flightBytes = flag.Int64("flight-max-bytes", 0, "flight recorder byte budget for retained timelines (0 = default 8MiB)")
+		noFlight    = flag.Bool("no-flight", false, "disable the session flight recorder")
 	)
 	flag.Parse()
 
@@ -89,6 +101,21 @@ func main() {
 	rollup := cohort.NewRollup(cohort.Config{Shards: 1})
 	an.SetCohorts(rollup)
 	metrics.AttachCohorts(rollup.Snapshot)
+	// flight recorder over the serial path (stripe 0): tail-sampled
+	// per-session timelines behind the closing worst-sessions report
+	rec := flight.New(flight.Config{
+		Shards:   1,
+		SampleN:  *flightN,
+		MaxBytes: *flightBytes,
+		Disabled: *noFlight,
+	})
+	if rec != nil {
+		an.SetFlight(rec)
+		k := rec.Config().Exemplars
+		rollup.SetExemplars(func(key string) []string { return rec.CohortExemplars(key, k) })
+		pipeline.WireFlightQuality(qm, rec)
+		metrics.AttachFlight(rec.Metrics)
+	}
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
@@ -155,6 +182,7 @@ func main() {
 	}
 	printModelHealth(out, sn)
 	printWorstCohorts(out, rollup.Snapshot())
+	printWorstSessions(out, rec)
 	log.Debug("stream finished", "entries", lines, "reports", emitted, "labels", labels)
 }
 
@@ -197,6 +225,27 @@ func printWorstCohorts(w io.Writer, snap *cohort.Snapshot) {
 	}
 	if snap.Overflow != nil {
 		fmt.Fprintf(w, "--   (+%d sessions in evicted-cohort overflow)\n", snap.Overflow.Sessions)
+	}
+}
+
+// printWorstSessions closes the run with the flight recorder's view:
+// up to five retained sessions, worst MOS first, with the policies
+// that kept them — the per-session evidence behind the cohort lines
+// above. No output when recording is off or nothing was retained.
+func printWorstSessions(w io.Writer, rec *flight.Recorder) {
+	snap := rec.Snapshot()
+	if len(snap.Retained) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "-- worst sessions (%d retained of %d recorded):\n",
+		snap.Counters.Retained, snap.Counters.Recorded)
+	show := snap.Retained
+	if len(show) > 5 {
+		show = show[:5]
+	}
+	for _, s := range show {
+		fmt.Fprintf(w, "--   %-28s mos %.2f (%s)  stall %-13s entries %-4d kept: %s\n",
+			s.ID, s.MOS, s.Verbal, s.Stall, s.Entries, strings.Join(s.Reasons, ","))
 	}
 }
 

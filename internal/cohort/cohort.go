@@ -202,6 +202,12 @@ type Rollup struct {
 	cacheMu  sync.Mutex
 	cacheGen uint64
 	cache    *Snapshot
+
+	// exemplars, when set, resolves a cohort key to retained
+	// flight-recorder session IDs so /debug/cohorts entries link
+	// straight to per-session timelines. Set once at wiring time,
+	// before traffic.
+	exemplars func(cohort string) []string
 }
 
 // NewRollup builds a rollup with cfg.Shards stripes.
@@ -316,6 +322,10 @@ type Stats struct {
 	Stalled    int64 `json:"stalled"`
 	LowQuality int64 `json:"low_quality"`
 	Switched   int64 `json:"switched"`
+	// Exemplars links to retained flight-recorder sessions from this
+	// cohort ("subscriber/start" IDs, worst MOS first), when a flight
+	// recorder is wired. Filled per Snapshot call, never cached.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is the merged fleet view served by /debug/cohorts.
@@ -332,26 +342,48 @@ type Snapshot struct {
 	Evicted int64 `json:"evicted_cohorts"`
 }
 
+// SetExemplars attaches the flight recorder's exemplar resolver so
+// each cohort's snapshot entry carries links to retained per-session
+// timelines. Wire it before traffic; pass nil to detach.
+func (r *Rollup) SetExemplars(fn func(cohort string) []string) {
+	if r == nil {
+		return
+	}
+	r.exemplars = fn
+}
+
 // Snapshot merges all stripes into the fleet view. The result is
 // cached by generation: repeated calls with no intervening Observe
-// return the same snapshot without touching the stripes.
+// return the same snapshot without touching the stripes. Exemplar
+// links are resolved outside the cache — eviction changes them even
+// when the rollup itself is idle — so the cached entries stay clean
+// and each call decorates a fresh copy.
 func (r *Rollup) Snapshot() *Snapshot {
 	if r == nil {
 		return &Snapshot{}
 	}
 	gen := r.gen.Load()
 	r.cacheMu.Lock()
-	defer r.cacheMu.Unlock()
-	if r.cache != nil && r.cacheGen == gen {
-		return r.cache
+	if r.cache == nil || r.cacheGen != gen {
+		// Key the cache on the generation read before merging: an
+		// observe landing mid-merge bumps gen past it, so the next call
+		// re-merges and the racing session is never lost from the
+		// served view.
+		r.cache = r.merge()
+		r.cacheGen = gen
 	}
-	snap := r.merge()
-	// Key the cache on the generation read before merging: an observe
-	// landing mid-merge bumps gen past it, so the next call re-merges
-	// and the racing session is never lost from the served view.
-	r.cache = snap
-	r.cacheGen = gen
-	return snap
+	snap := r.cache
+	r.cacheMu.Unlock()
+	if r.exemplars == nil {
+		return snap
+	}
+	out := *snap
+	out.Cohorts = make([]Stats, len(snap.Cohorts))
+	copy(out.Cohorts, snap.Cohorts)
+	for i := range out.Cohorts {
+		out.Cohorts[i].Exemplars = r.exemplars(out.Cohorts[i].Cohort)
+	}
+	return &out
 }
 
 func (r *Rollup) merge() *Snapshot {

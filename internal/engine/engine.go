@@ -24,6 +24,7 @@ import (
 
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
@@ -73,6 +74,13 @@ type Config struct {
 	// cohort.NewRollup over the same shard count. nil (the default)
 	// turns rollups off.
 	Cohorts *cohort.Rollup
+	// Flight attaches the session flight recorder: every assessed
+	// session runs its shard's tail-sampling decision, and sessions
+	// that stall, score in the worst MOS decile, confuse a detector, or
+	// land on the uniform sample keep their full event timeline for
+	// /debug/flight drill-down. Build it with flight.New over the same
+	// shard count. nil (the default) turns recording off at zero cost.
+	Flight *flight.Recorder
 }
 
 // DefaultConfig mirrors the serial pipeline's session parameters.
@@ -140,6 +148,7 @@ type Engine struct {
 func New(fw *core.Framework, cfg Config, sink func(Report)) *Engine {
 	cfg = cfg.WithDefaults()
 	cfg.Obs.EnsureShards(cfg.Shards) // no-op on a nil observer
+	cfg.Flight.SetAttributor(fw.AttributeVectors)
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range e.shards {
 		e.shards[i] = newShard(i, fw, cfg, sink)
@@ -163,6 +172,10 @@ func (e *Engine) Quality() *qualitymon.Monitor { return e.cfg.Quality }
 // Cohorts returns the attached fleet-rollup layer (nil when rollups
 // are off).
 func (e *Engine) Cohorts() *cohort.Rollup { return e.cfg.Cohorts }
+
+// Flight returns the attached session flight recorder (nil when
+// recording is off).
+func (e *Engine) Flight() *flight.Recorder { return e.cfg.Flight }
 
 // ObserveLabel feeds one delayed ground-truth label into the quality
 // monitor and reports whether it matched an already-assessed session

@@ -9,6 +9,7 @@ import (
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/features"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
@@ -61,6 +62,11 @@ type shard struct {
 	// its cohort's stripe of the fleet rollup.
 	cohorts *cohort.Rollup
 
+	// flight, when non-nil, is this shard's stripe of the session
+	// flight recorder: every assessed session runs the tail-sampling
+	// decision, and retained ones keep their full event timeline.
+	flight *flight.ShardRecorder
+
 	// worker-goroutine state
 	highWater float64
 	lastSweep float64
@@ -104,6 +110,7 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 		s.quality = &core.QualityHook{Monitor: cfg.Quality, Shard: id}
 	}
 	s.cohorts = cfg.Cohorts
+	s.flight = cfg.Flight.Shard(id) // nil when recording is off
 	if s.tracer != nil {
 		tr, sid := s.tracer, int32(id)
 		s.tracker.OnOpen = func(sub string, start float64) {
@@ -253,6 +260,7 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 			s.stages.ObserveSince(obs.StageFeaturize, t0)
 		}
 		if o.Len() < s.minChunks {
+			s.flight.Discard()
 			continue
 		}
 		sobs = append(sobs, o)
@@ -286,6 +294,23 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 				StallConf:  r.StallConf,
 				RepConf:    r.RepConf,
 			})
+		}
+		if s.flight != nil {
+			// decide first; the cohort render and the projected-vector
+			// copies below are paid only by the retained tail
+			if reasons, score, ok := s.flight.Decide(r); ok {
+				stallProj, repProj := s.fw.ProjectedCopies(&s.scratch, i)
+				s.flight.Retain(flight.Assessment{
+					Subscriber: kept[i].Subscriber,
+					Start:      kept[i].Start,
+					End:        kept[i].End,
+					Report:     r,
+					Entries:    kept[i].Entries,
+					Cohort:     cohort.FromSession(kept[i].Entries).String(),
+					StallProj:  stallProj,
+					RepProj:    repProj,
+				}, score, reasons)
+			}
 		}
 		s.trace(obs.EvAssess, kept[i].End, kept[i])
 	}

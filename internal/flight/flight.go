@@ -1,0 +1,551 @@
+// Package flight is the session flight recorder: the per-session
+// drill-down layer under the fleet aggregates. Cohort rollups and the
+// model-quality monitor say *that* eu-west mobile viewers are hurting
+// or *that* the stall model degraded; the flight recorder keeps the
+// evidence — a structured event timeline (chunk arrivals, gap spans,
+// feature summary, per-detector verdicts with decision-path feature
+// attributions, MOS fold, cohort attribution) for a sampled subset of
+// sessions, so an operator can open one concrete session and see why
+// it scored the way it did.
+//
+// Sampling is tail-based: the retention decision runs at session
+// close, when the outcome is known, so the interesting tail is kept
+// regardless of how rare it is. A session's full timeline is retained
+// when it matches any policy:
+//
+//   - stalled: the stall detector saw rebuffering;
+//   - worst_mos: the session's MOS falls at or below the shard's
+//     streaming P² 10th percentile (after a warm-up floor);
+//   - low_confidence: either forest's winning vote share fell below
+//     the configured floor — the sessions the model is least sure
+//     about, and the likeliest future mispredictions;
+//   - labeled_wrong: a delayed ground-truth label contradicted the
+//     prediction (promoted after the fact via ObserveOutcome);
+//   - uniform: every Nth session, as an unbiased baseline.
+//
+// The open-session timeline costs nothing to accumulate: the flow
+// table (sessionizer.Tracker) already buffers every open session's
+// entries for feature extraction, so retention is a header copy plus
+// one float-only pass that compacts the buffer's video chunks into
+// pointer-free 24-byte records — compact at retention, replay on
+// demand. The raw buffer is dropped immediately, and because the
+// compacted records hold no pointers, a full retained ring adds
+// nothing to the garbage collector's scan work while ingest runs hot.
+// The event timeline is materialized from the records only when an
+// operator actually drills down. The hot path pays one Decide call
+// per *closed session* — a MOS score, a P² update, and a few
+// branches — with the compaction pass only for the retained tail; a
+// nil *Recorder (or nil *ShardRecorder) is the "off" mode with zero
+// cost.
+//
+// Memory is hard-capped: retained sessions enter a per-shard FIFO ring
+// accounted in bytes; the oldest sessions are evicted (and counted)
+// when a shard exceeds its budget, and each timeline caps its event
+// count (truncation counted). Exemplar registries index the worst
+// retained sessions per cohort key and per degraded model so
+// /debug/cohorts and /debug/quality can link to them.
+package flight
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vqoe/internal/core"
+	"vqoe/internal/features"
+	"vqoe/internal/mos"
+	"vqoe/internal/stats"
+	"vqoe/internal/weblog"
+)
+
+// Reason is the bitmask of retention policies a session matched.
+type Reason uint8
+
+const (
+	// ReasonStalled retains every session whose stall verdict is not
+	// "no stall" — the paper's headline impairment.
+	ReasonStalled Reason = 1 << iota
+	// ReasonWorstMOS retains sessions at or below the shard's rolling
+	// 10th-percentile MOS.
+	ReasonWorstMOS
+	// ReasonLowConfidence retains sessions either detector was unsure
+	// about.
+	ReasonLowConfidence
+	// ReasonLabeledWrong marks sessions whose delayed ground-truth
+	// label contradicted the prediction (set after retention by
+	// ObserveOutcome; it cannot retain a session that was dropped).
+	ReasonLabeledWrong
+	// ReasonUniform retains every Nth session as an unbiased sample.
+	ReasonUniform
+)
+
+// NumReasons is the number of retention policies (the ByReason
+// counter arity).
+const NumReasons = 5
+
+var reasonNames = [NumReasons]string{"stalled", "worst_mos", "low_confidence", "labeled_wrong", "uniform"}
+
+// ReasonName returns the label value for one retention-policy counter
+// index (the bit position in Reason).
+func ReasonName(i int) string {
+	if i < 0 || i >= NumReasons {
+		return "unknown"
+	}
+	return reasonNames[i]
+}
+
+// Names expands the bitmask into sorted policy names (deterministic
+// JSON).
+func (r Reason) Names() []string {
+	var out []string
+	for i := 0; i < NumReasons; i++ {
+		if r&(1<<i) != 0 {
+			out = append(out, reasonNames[i])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Defaults for Config's zero fields.
+const (
+	// DefaultSampleN retains one in every 32 sessions uniformly.
+	DefaultSampleN = 32
+	// DefaultMaxBytes is each shard's retained-timeline byte budget.
+	DefaultMaxBytes = 8 << 20
+	// DefaultMaxEvents caps one retained session's timeline length.
+	DefaultMaxEvents = 256
+	// DefaultLowConfidence is the winning-vote-share floor under which
+	// a session is retained as low-confidence.
+	DefaultLowConfidence = 0.55
+	// DefaultExemplars is how many retained session IDs each cohort or
+	// degraded-model entry links to.
+	DefaultExemplars = 4
+	// worstMinSamples gates the worst-decile policy until the shard's
+	// P² estimator has seen enough sessions to mean something.
+	worstMinSamples = 32
+	// attrTopK is how many decision-path feature attributions each
+	// retained verdict carries.
+	attrTopK = 5
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// Shards is the recorder stripe count; use the engine's shard count
+	// so each worker goroutine owns one stripe. Minimum 1.
+	Shards int
+	// SampleN retains one in every N sessions uniformly (per shard).
+	// 0 takes DefaultSampleN; negative disables the uniform policy
+	// (outcome-driven policies still apply).
+	SampleN int
+	// MaxBytes is the per-shard byte budget for retained timelines
+	// (DefaultMaxBytes when 0).
+	MaxBytes int64
+	// MaxEvents caps one session's materialized timeline length
+	// (DefaultMaxEvents when 0); chunks past it are counted, not kept.
+	MaxEvents int
+	// LowConfidence is the confidence floor for the low_confidence
+	// policy (DefaultLowConfidence when 0; negative disables it).
+	LowConfidence float64
+	// Exemplars is how many retained session IDs each exemplar key
+	// (cohort, degraded model) holds (DefaultExemplars when 0).
+	Exemplars int
+	// Disabled makes New return nil — the recorder-off mode callers
+	// wire through unconditionally (every method is nil-safe).
+	Disabled bool
+}
+
+// WithDefaults resolves zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.SampleN == 0 {
+		c.SampleN = DefaultSampleN
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = DefaultMaxEvents
+	}
+	if c.LowConfidence == 0 {
+		c.LowConfidence = DefaultLowConfidence
+	}
+	if c.Exemplars <= 0 {
+		c.Exemplars = DefaultExemplars
+	}
+	return c
+}
+
+// Assessment carries one closed session's outcome to the retention
+// decision. Hot paths build it only after Decide says keep, so the
+// cohort render and the vector copies below are paid exclusively by
+// the retained tail — never by the dropped majority.
+type Assessment struct {
+	Subscriber string
+	Start, End float64
+	Report     core.Report
+	// Entries is the session's buffered traffic (the flow-table view
+	// the features came from). Retention compacts the video chunks out
+	// of it into pointer-free records in one pass and drops the slice —
+	// the recorder never references it afterwards.
+	Entries []weblog.Entry
+	// Cohort is the session's rendered region/device/cap label (""
+	// when the traffic carried no cohort metadata).
+	Cohort string
+	// StallProj and RepProj are copies of both detectors' projected
+	// feature vectors, taken out of the batch scratch before it is
+	// reused. They ride the retained session so decision-path
+	// attribution can run at drill-down time (see
+	// Recorder.SetAttributor) instead of on the ingest path; either
+	// may be nil.
+	StallProj, RepProj []float64
+}
+
+// Attributor replays decision paths over the projected vectors a
+// retained session carries, returning the top-k feature attributions
+// per model. The engine wires core.Framework.AttributeVectors in at
+// startup; renders without one simply omit attributions.
+type Attributor func(stallProj, repProj []float64, k int) (stall, rep []core.FeatureAttribution)
+
+// Recorder is the engine-wide flight recorder: one ShardRecorder per
+// engine shard. Exemplar indexing is striped with the shards — each
+// shard registers its own retained sessions under its own ring lock,
+// and the rare debug-endpoint reads merge the per-shard lists — so
+// retention never contends on recorder-global state. All methods are
+// nil-safe so call sites wire it unconditionally.
+type Recorder struct {
+	cfg    Config
+	shards []*ShardRecorder
+	attr   atomic.Pointer[Attributor]
+}
+
+// SetAttributor installs the decision-path replay hook a drill-down
+// render uses to attribute a retained session's verdicts. Nil-safe;
+// installing nil is a no-op.
+func (r *Recorder) SetAttributor(fn Attributor) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.attr.Store(&fn)
+}
+
+// attribute replays the session's retained projected vectors through
+// the installed attributor, or returns nils when either side is
+// missing. Sessions' vectors are immutable after buildSession, so this
+// needs no ring lock.
+func (r *Recorder) attribute(s *Session, k int) (stall, rep []core.FeatureAttribution) {
+	p := r.attr.Load()
+	if p == nil || (s.stallProj == nil && s.repProj == nil) {
+		return nil, nil
+	}
+	return (*p)(s.stallProj, s.repProj, k)
+}
+
+// New builds a recorder, or returns nil (recording off) when
+// cfg.Disabled is set.
+func New(cfg Config) *Recorder {
+	if cfg.Disabled {
+		return nil
+	}
+	cfg = cfg.WithDefaults()
+	r := &Recorder{cfg: cfg}
+	r.shards = make([]*ShardRecorder, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = &ShardRecorder{
+			rec: r, shard: i,
+			p10:       stats.NewP2Quantile(0.10),
+			exemplars: make(map[string][]*Session),
+		}
+	}
+	return r
+}
+
+// Config reports the effective configuration.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{Disabled: true}
+	}
+	return r.cfg
+}
+
+// Shard returns the recorder stripe owned by one engine shard worker
+// (nil on a nil recorder — the zero-cost off mode).
+func (r *Recorder) Shard(i int) *ShardRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.shards[i%len(r.shards)]
+}
+
+// ShardRecorder is one engine shard's slice of the recorder. Assess
+// and Discard are called only by the owning shard worker; the mutex
+// guards only the retained ring (snapshot readers and label
+// promotion), never the per-session hot path state.
+type ShardRecorder struct {
+	rec   *Recorder
+	shard int
+
+	// worker-owned retention state (no locking)
+	p10     *stats.P2Quantile
+	nScores int64
+	nth     int64
+
+	mu    sync.Mutex
+	ring  []*Session // retained sessions, oldest first
+	bytes int64
+	// exemplars indexes this shard's retained sessions by exemplar
+	// key, each list the worst-MOS cfg.Exemplars sessions, sorted.
+	// Cohort entries use the bare region/device/cap key — a static
+	// string on the retention path, no per-retention concatenation —
+	// and model entries the literals "model/<stall|rep>"; the shapes
+	// can't collide (cohort keys always carry two slashes). Guarded by
+	// mu; reads merge the per-shard lists so retention never touches
+	// recorder-global state.
+	exemplars map[string][]*Session
+
+	recorded  atomic.Int64
+	retained  atomic.Int64
+	evicted   atomic.Int64
+	truncated atomic.Int64
+	byReason  [NumReasons]atomic.Int64
+}
+
+// Discard records a session that closed below the assessment floor
+// (signalling-only fragments the engine suppresses).
+func (s *ShardRecorder) Discard() {
+	if s == nil {
+		return
+	}
+	s.recorded.Add(1)
+}
+
+// Assess runs the tail-sampling decision for one closed, assessed
+// session: score it, update the shard's MOS percentile, and retain the
+// session's raw material if any policy matches. Called from the owning
+// shard worker only. Hot paths that want to skip building the
+// Assessment for dropped sessions call Decide and Retain directly.
+func (s *ShardRecorder) Assess(a Assessment) {
+	if reasons, score, ok := s.Decide(a.Report); ok {
+		s.retain(a, score, reasons)
+	}
+}
+
+// Decide runs the tail-sampling decision alone, without touching the
+// session's raw material: the MOS score and the shard's P² percentile
+// update happen here, and the returned reasons say whether the session
+// should be retained (ok). The split lets the engine's hot path pay
+// nothing but arithmetic for dropped sessions — the Assessment, with
+// its cohort render and projected-vector copies, is only built when ok is
+// true and handed to Retain. Call it exactly once per assessed
+// session (it advances the uniform-sample and percentile state), from
+// the owning shard worker only. ok is always false on a nil recorder.
+func (s *ShardRecorder) Decide(rep core.Report) (Reason, float64, bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.recorded.Add(1)
+	score := float64(mos.FromReport(rep))
+	s.p10.Observe(score)
+	s.nScores++
+	s.nth++
+
+	var reasons Reason
+	if rep.Stall != features.NoStall {
+		reasons |= ReasonStalled
+	}
+	if s.nScores >= worstMinSamples && score <= s.p10.Value() {
+		reasons |= ReasonWorstMOS
+	}
+	if lc := s.rec.cfg.LowConfidence; lc > 0 && (rep.StallConf < lc || rep.RepConf < lc) {
+		reasons |= ReasonLowConfidence
+	}
+	if n := s.rec.cfg.SampleN; n > 0 && s.nth%int64(n) == 0 {
+		reasons |= ReasonUniform
+	}
+	return reasons, score, reasons != 0
+}
+
+// Retain keeps one session Decide said to keep, taking ownership of
+// its raw material. Callers pass Decide's reasons and score through.
+func (s *ShardRecorder) Retain(a Assessment, score float64, reasons Reason) {
+	if s == nil {
+		return
+	}
+	s.retain(a, score, reasons)
+}
+
+// retain compacts the session's raw material into a pointer-free
+// record and inserts it into the byte-capped ring, evicting
+// oldest-first past the budget. The cost is one float-only pass over
+// the entries (see newSession) plus ring and exemplar bookkeeping;
+// the timeline is NOT materialized here — that happens at drill-down
+// render time.
+func (s *ShardRecorder) retain(a Assessment, score float64, reasons Reason) {
+	sess := newSession(a, score, reasons, s.shard, s.rec.cfg.MaxEvents)
+	s.retained.Add(1)
+	for i := 0; i < NumReasons; i++ {
+		if reasons&(1<<i) != 0 {
+			s.byReason[i].Add(1)
+		}
+	}
+	s.truncated.Add(sess.truncated)
+
+	var evicted []*Session
+	s.mu.Lock()
+	s.ring = append(s.ring, sess)
+	s.bytes += sess.bytes
+	for s.bytes > s.rec.cfg.MaxBytes && len(s.ring) > 1 {
+		old := s.ring[0]
+		s.ring = s.ring[1:]
+		s.bytes -= old.bytes
+		old.dead.Store(true)
+		evicted = append(evicted, old)
+	}
+	s.register(sess.Cohort, sess)
+	if reasons&ReasonLowConfidence != 0 {
+		if a.Report.StallConf < s.rec.cfg.LowConfidence {
+			s.register("model/stall", sess)
+		}
+		if a.Report.RepConf < s.rec.cfg.LowConfidence {
+			s.register("model/rep", sess)
+		}
+	}
+	s.mu.Unlock()
+	s.evicted.Add(int64(len(evicted)))
+}
+
+// exemplarLess is the worst-first exemplar order: lowest MOS, then
+// subscriber, then start — total, so merged renders are deterministic.
+func exemplarLess(a, b *Session) bool {
+	if a.MOS != b.MOS {
+		return a.MOS < b.MOS
+	}
+	if a.Subscriber != b.Subscriber {
+		return a.Subscriber < b.Subscriber
+	}
+	return a.Start < b.Start
+}
+
+// register indexes a retained session under one exemplar key on this
+// shard, keeping the cfg.Exemplars worst (lowest-MOS) live sessions
+// per key. Callers hold s.mu; the list is tiny (cfg.Exemplars), so
+// the compact-and-insert below is a handful of pointer moves — cheap
+// enough for the retention path, and strictly shard-local so
+// concurrent shards never serialize on it.
+func (s *ShardRecorder) register(key string, sess *Session) {
+	list := s.exemplars[key]
+	kept := list[:0]
+	for _, e := range list {
+		if !e.dead.Load() {
+			kept = append(kept, e)
+		}
+	}
+	kept = append(kept, sess)
+	for i := len(kept) - 1; i > 0 && exemplarLess(kept[i], kept[i-1]); i-- {
+		kept[i], kept[i-1] = kept[i-1], kept[i]
+	}
+	if len(kept) > s.rec.cfg.Exemplars {
+		kept = kept[:s.rec.cfg.Exemplars]
+	}
+	s.exemplars[key] = kept
+}
+
+// ExemplarIDs returns up to k retained session IDs for one exemplar
+// key (a bare "region/device/cap" cohort key or "model/<stall|rep>"),
+// worst MOS first. IDs are "subscriber/start" — the /debug/flight
+// path form. The per-shard lists are merged here, on the rare
+// debug-read path, so the retention path never touches shared state.
+// Evicted sessions drop out lazily.
+func (r *Recorder) ExemplarIDs(key string, k int) []string {
+	if r == nil || k <= 0 {
+		return nil
+	}
+	var merged []*Session
+	for _, s := range r.shards {
+		s.mu.Lock()
+		for _, e := range s.exemplars[key] {
+			if !e.dead.Load() {
+				merged = append(merged, e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	sort.Slice(merged, func(i, j int) bool { return exemplarLess(merged[i], merged[j]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	out := make([]string, len(merged))
+	for i, e := range merged {
+		out[i] = sessionID(e.Subscriber, e.Start)
+	}
+	return out
+}
+
+// CohortExemplars adapts ExemplarIDs to the cohort rollup's hook shape.
+func (r *Recorder) CohortExemplars(cohortKey string, k int) []string {
+	return r.ExemplarIDs(cohortKey, k)
+}
+
+// ModelExemplars adapts ExemplarIDs to the quality monitor's hook
+// shape (model is "stall" or "rep").
+func (r *Recorder) ModelExemplars(model string) []string {
+	if r == nil {
+		return nil
+	}
+	return r.ExemplarIDs("model/"+model, r.cfg.Exemplars)
+}
+
+// ObserveOutcome promotes a retained session whose delayed
+// ground-truth label contradicted the prediction: the labeled_wrong
+// reason is added, a label event is appended to its timeline, and the
+// session is indexed as a degraded-model exemplar. Sessions that were
+// never retained cannot be resurrected — the label arrives after the
+// timeline is gone; the low-confidence policy exists to keep most
+// future mispredictions. Safe from any goroutine.
+func (r *Recorder) ObserveOutcome(subscriber string, start, end float64, model, note string) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.shards {
+		s.mu.Lock()
+		for _, sess := range s.ring {
+			if sess.Subscriber != subscriber || sess.Start != start {
+				continue
+			}
+			sess.reasons |= ReasonLabeledWrong
+			ev := Event{TS: end, Kind: EvLabel, Note: model + ": " + note}
+			sess.labels = append(sess.labels, ev)
+			b := eventBytes(&ev)
+			sess.bytes += b
+			s.bytes += b
+			s.register("model/"+model, sess)
+			s.mu.Unlock()
+			s.byReason[reasonIndex(ReasonLabeledWrong)].Add(1)
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+func reasonIndex(r Reason) int {
+	for i := 0; i < NumReasons; i++ {
+		if r&(1<<i) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// sessionID renders the canonical "subscriber/start" session key used
+// in exemplar links and /debug/flight paths. FormatFloat 'g'/-1
+// round-trips exactly, so the rendered start parses back to the same
+// float64 for lookup.
+func sessionID(subscriber string, start float64) string {
+	return subscriber + "/" + strconv.FormatFloat(start, 'g', -1, 64)
+}

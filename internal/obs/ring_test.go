@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+
+	// partial fill: oldest-first, no phantom zero slots
+	for i := 0; i < 3; i++ {
+		if seq := r.Push(i); seq != uint64(i) {
+			t.Fatalf("Push(%d) seq = %d", i, seq)
+		}
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("partial snapshot = %v, want [0 1 2]", got)
+	}
+	if r.Len() != 3 || r.Cap() != 4 {
+		t.Fatalf("Len/Cap = %d/%d, want 3/4", r.Len(), r.Cap())
+	}
+
+	// push far past capacity: the ring holds exactly the last Cap
+	// elements in push order, and Total keeps counting
+	for i := 3; i < 103; i++ {
+		r.Push(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("wrapped snapshot has %d elements, want 4", len(got))
+	}
+	for i, v := range got {
+		if want := 99 + i; v != want {
+			t.Fatalf("wrapped snapshot[%d] = %d, want %d", i, v, want)
+		}
+	}
+	if r.Len() != 4 || r.Total() != 103 {
+		t.Fatalf("Len/Total = %d/%d, want 4/103", r.Len(), r.Total())
+	}
+}
+
+func TestRingCapacityClampAndNil(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("clamped capacity = %d, want 1", r.Cap())
+	}
+	r.Push("a")
+	r.Push("b")
+	if got := r.Snapshot(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("capacity-1 snapshot = %v, want [b]", got)
+	}
+
+	var nr *Ring[string]
+	if nr.Push("x") != 0 || nr.Len() != 0 || nr.Cap() != 0 || nr.Total() != 0 || nr.Snapshot() != nil {
+		t.Fatal("nil ring methods must be no-ops")
+	}
+}
+
+func TestRingConcurrentPush(t *testing.T) {
+	const goroutines, per = 8, 1000
+	r := NewRing[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Push(i)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != goroutines*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), goroutines*per)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
-	"sync"
 )
 
 // EventKind classifies one session-lifecycle span event.
@@ -49,16 +48,14 @@ type SpanEvent struct {
 	Seq        uint64 // per-tracer monotonic sequence, set by Record
 }
 
-// Tracer is a fixed-capacity ring buffer of span events. Each engine
-// shard owns one, so Record's mutex is effectively uncontended (the
-// only other locker is an operator hitting /debug/trace); recording
-// overwrites the oldest event once the ring wraps and never
-// allocates. A nil *Tracer is the "tracing off" mode: Record is a
-// no-op.
+// Tracer is a fixed-capacity ring buffer of span events, built on the
+// generic Ring. Each engine shard owns one, so Record's mutex is
+// effectively uncontended (the only other locker is an operator
+// hitting /debug/trace); recording overwrites the oldest event once
+// the ring wraps and never allocates. A nil *Tracer is the "tracing
+// off" mode: Record is a no-op.
 type Tracer struct {
-	mu  sync.Mutex
-	buf []SpanEvent
-	seq uint64 // total events ever recorded
+	ring Ring[SpanEvent]
 }
 
 // DefaultTraceCap is the per-tracer ring capacity.
@@ -70,19 +67,22 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCap
 	}
-	return &Tracer{buf: make([]SpanEvent, capacity)}
+	return &Tracer{ring: Ring[SpanEvent]{buf: make([]SpanEvent, capacity)}}
 }
 
-// Record appends one event, overwriting the oldest when full.
+// Record appends one event, overwriting the oldest when full. The
+// event's Seq is assigned under the ring lock so snapshot merge order
+// is exact even when recorders race.
 func (t *Tracer) Record(ev SpanEvent) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	ev.Seq = t.seq
-	t.buf[t.seq%uint64(len(t.buf))] = ev
-	t.seq++
-	t.mu.Unlock()
+	r := &t.ring
+	r.mu.Lock()
+	ev.Seq = r.seq
+	r.buf[r.seq%uint64(len(r.buf))] = ev
+	r.seq++
+	r.mu.Unlock()
 }
 
 // Len reports how many events the ring currently holds.
@@ -90,12 +90,7 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.seq < uint64(len(t.buf)) {
-		return int(t.seq)
-	}
-	return len(t.buf)
+	return t.ring.Len()
 }
 
 // Total reports how many events were ever recorded (Total - Len of
@@ -104,9 +99,7 @@ func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.seq
+	return t.ring.Total()
 }
 
 // Snapshot copies the retained events, oldest first.
@@ -114,19 +107,7 @@ func (t *Tracer) Snapshot() []SpanEvent {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := uint64(len(t.buf))
-	if t.seq < n {
-		out := make([]SpanEvent, t.seq)
-		copy(out, t.buf[:t.seq])
-		return out
-	}
-	out := make([]SpanEvent, n)
-	head := t.seq % n // oldest slot
-	copy(out, t.buf[head:])
-	copy(out[n-head:], t.buf[:head])
-	return out
+	return t.ring.Snapshot()
 }
 
 // MergeEvents interleaves several tracers' snapshots into one
@@ -148,9 +129,11 @@ func MergeEvents(tracers []*Tracer) []SpanEvent {
 	return out
 }
 
-// chromeEvent is one entry of the Chrome trace_event format
-// (chrome://tracing, Perfetto, and speedscope all load it).
-type chromeEvent struct {
+// ChromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto, and speedscope all load it). It is
+// exported so other event sources — the flight recorder's per-session
+// timelines — can render into the same viewer as /debug/trace.
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
@@ -163,8 +146,18 @@ type chromeEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeEvents wraps pre-built trace events in the trace_event
+// envelope ({"traceEvents": [...]}) and writes them as JSON.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	tr := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+	return json.NewEncoder(w).Encode(tr)
 }
 
 // WriteChromeTrace renders span events as Chrome trace_event JSON.
@@ -174,9 +167,9 @@ type chromeTrace struct {
 // capture clock (seconds) maps to trace microseconds.
 func WriteChromeTrace(w io.Writer, events []SpanEvent) error {
 	const usec = 1e6
-	tr := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	out := make([]ChromeEvent, 0, len(events))
 	for _, ev := range events {
-		ce := chromeEvent{
+		ce := ChromeEvent{
 			Name: ev.Kind.String() + " " + ev.Subscriber,
 			Cat:  "session",
 			TS:   ev.TS * usec,
@@ -202,8 +195,7 @@ func WriteChromeTrace(w io.Writer, events []SpanEvent) error {
 			ce.Phase = "i"
 			ce.Scope = "t"
 		}
-		tr.TraceEvents = append(tr.TraceEvents, ce)
+		out = append(out, ce)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(tr)
+	return WriteChromeEvents(w, out)
 }

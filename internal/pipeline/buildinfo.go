@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// binaryInfo is the vqoe_build_info label set, resolved once from the
+// binary's embedded build metadata.
+type binaryInfo struct {
+	version   string
+	goVersion string
+}
+
+var buildInfo = sync.OnceValue(func() binaryInfo {
+	out := binaryInfo{version: "devel", goVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.GoVersion != "" {
+		out.goVersion = bi.GoVersion
+	}
+	// module version when built from a tagged module; otherwise fall
+	// back to the embedded VCS revision, abbreviated
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		out.version = v
+		return out
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				out.version = s.Value[:12]
+			} else {
+				out.version = s.Value
+			}
+			return out
+		}
+	}
+	return out
+})

@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vqoe/internal/cohort"
+	"vqoe/internal/engine"
+	"vqoe/internal/flight"
+	"vqoe/internal/workload"
+)
+
+// TestFlightRecorderHotspotE2E is the end-to-end acceptance check for
+// the flight recorder: a ~3000-session live workload with one degraded
+// region flows through the sharded server while a poller hammers the
+// flight endpoints (meaningful under -race). After drain, every
+// /debug/cohorts entry for the hotspot region must link at least one
+// exemplar session whose retained timeline shows the stall evidence —
+// gap spans and an impaired stall verdict — that produced its MOS.
+func TestFlightRecorderHotspotE2E(t *testing.T) {
+	fw, _ := testFramework(t)
+
+	lcfg := workload.DefaultLiveConfig()
+	lcfg.Subscribers = 500
+	lcfg.SessionsPerSubscriber = 6
+	lcfg.Seed = 47
+	// two regions, one device class, two cap rungs: few, deep cohorts,
+	// with eu-west's subscribers pushed onto poor network paths
+	lcfg.RegionWeights = []float64{0.5, 0, 0.5, 0, 0}
+	lcfg.DeviceWeights = []float64{1, 0, 0, 0}
+	lcfg.QualityCapWeights = [6]float64{0, 0, 0.5, 0.5, 0, 0}
+	lcfg.HotspotRegion = "eu-west"
+	lcfg.HotspotSeverity = 0.9
+	live := workload.GenerateLive(lcfg)
+
+	srv := NewServerOpts(fw, Options{Engine: engine.Config{Shards: 4}})
+	h := srv.Handler()
+
+	// poller racing the shard workers: the index must always parse, and
+	// any listed session must be fetchable the moment it appears
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+			if rec.Code != 200 {
+				t.Errorf("/debug/flight status %d", rec.Code)
+				return
+			}
+			var snap flight.Snapshot
+			if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+				t.Errorf("mid-ingest /debug/flight not JSON: %v", err)
+				return
+			}
+			if len(snap.Retained) > 0 {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight/"+snap.Retained[0].ID, nil))
+				// 404 is legal — the session can be evicted between the
+				// index render and the fetch — but no other failure is
+				if rec.Code != 200 && rec.Code != 404 {
+					t.Errorf("mid-ingest drill-down status %d", rec.Code)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for i := 0; i < len(live.Entries); i += 512 {
+		j := i + 512
+		if j > len(live.Entries) {
+			j = len(live.Entries)
+		}
+		srv.Engine().Feed(live.Entries[i:j])
+	}
+	srv.Drain()
+	close(stop)
+	pollWG.Wait()
+
+	fm := srv.Flight().Metrics()
+	if fm.Recorded < 2500 {
+		t.Fatalf("recorded only %d sessions — fixture too small", fm.Recorded)
+	}
+	if fm.Retained == 0 || fm.ByReason["stalled"] == 0 {
+		t.Fatalf("hotspot produced no stalled retentions: %+v", fm)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/cohorts", nil))
+	var cs cohort.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatal(err)
+	}
+
+	hotspotCohorts := 0
+	for _, st := range cs.Cohorts {
+		if !strings.HasPrefix(st.Cohort, "eu-west/") {
+			continue
+		}
+		hotspotCohorts++
+		if len(st.Exemplars) == 0 {
+			t.Fatalf("degraded cohort %s (%d sessions, p50 %.2f) has no exemplar links",
+				st.Cohort, st.Sessions, st.MOSP50)
+		}
+
+		// at least one exemplar's timeline must carry the stall
+		// evidence: an impaired verdict plus synthesized gap spans
+		sawStallEvidence := false
+		for _, id := range st.Exemplars {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight/"+id, nil))
+			if rec.Code != 200 {
+				t.Fatalf("cohort %s exemplar %s: status %d", st.Cohort, id, rec.Code)
+			}
+			var sess flight.SessionJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &sess); err != nil {
+				t.Fatal(err)
+			}
+			if len(sess.Timeline) == 0 {
+				t.Fatalf("cohort %s exemplar %s: empty timeline", st.Cohort, id)
+			}
+			if sess.Cohort != st.Cohort {
+				t.Fatalf("exemplar %s cohort %q listed under %q", id, sess.Cohort, st.Cohort)
+			}
+			gaps, verdictImpaired, mosMatches := 0, false, false
+			for _, ev := range sess.Timeline {
+				switch ev.Kind {
+				case "gap":
+					gaps++
+				case "stall_verdict":
+					verdictImpaired = ev.Class != "no stalls"
+				case "mos":
+					mosMatches = ev.MOS == sess.MOS
+				}
+			}
+			if !mosMatches {
+				t.Fatalf("exemplar %s: no mos event matching index MOS %.3f", id, sess.MOS)
+			}
+			if sess.Stall != "no stalls" {
+				if !verdictImpaired || gaps == 0 {
+					t.Fatalf("stalled exemplar %s: verdict impaired=%v gaps=%d — timeline lacks the stall evidence",
+						id, verdictImpaired, gaps)
+				}
+				sawStallEvidence = true
+			}
+
+			// and the same timeline must export as a Chrome trace
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight/"+id+"?format=trace", nil))
+			if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+				t.Fatalf("exemplar %s trace export: status %d", id, rec.Code)
+			}
+		}
+		if !sawStallEvidence {
+			t.Fatalf("degraded cohort %s: none of its exemplars %v is a stalled session",
+				st.Cohort, st.Exemplars)
+		}
+	}
+	if hotspotCohorts == 0 {
+		t.Fatal("no eu-west cohorts in the rollup — hotspot fixture broken")
+	}
+}

@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vqoe/internal/engine"
+	"vqoe/internal/flight"
+)
+
+// flightServer ingests the study stream through a server whose flight
+// recorder retains every session (SampleN 1), then drains so the last
+// open sessions are assessed too.
+func flightServer(t *testing.T) (*Server, http.Handler) {
+	t.Helper()
+	fw, study := testFramework(t)
+	ecfg := engine.DefaultConfig()
+	ecfg.Shards = 2
+	srv := NewServerOpts(fw, Options{Engine: ecfg, Flight: flight.Config{SampleN: 1}})
+	h := srv.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", entriesJSONL(t, study.Stream)))
+	if rec.Code != 200 {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+	srv.Drain()
+	return srv, h
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestFlightIndexEndpoint(t *testing.T) {
+	_, h := flightServer(t)
+
+	rec := get(h, "/debug/flight")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap flight.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Retained) == 0 {
+		t.Fatal("no retained sessions at SampleN=1")
+	}
+	if snap.Counters.Retained == 0 || snap.Counters.Recorded < snap.Counters.Retained {
+		t.Fatalf("counters inconsistent: %+v", snap.Counters)
+	}
+	for i := 1; i < len(snap.Retained); i++ {
+		if snap.Retained[i-1].MOS > snap.Retained[i].MOS {
+			t.Fatalf("index not worst-first at %d", i)
+		}
+	}
+	for _, e := range snap.Retained {
+		if e.ID == "" || len(e.Reasons) == 0 || e.Entries == 0 {
+			t.Fatalf("incomplete index entry: %+v", e)
+		}
+	}
+}
+
+func TestFlightSessionEndpoint(t *testing.T) {
+	srv, h := flightServer(t)
+
+	first := srv.Flight().Snapshot().Retained[0]
+	rec := get(h, "/debug/flight/"+first.ID)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var sess flight.SessionJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID != first.ID || len(sess.Timeline) == 0 {
+		t.Fatalf("timeline payload mismatch: %+v", sess.IndexEntry)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range sess.Timeline {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"features", "stall_verdict", "rep_verdict", "mos"} {
+		if !kinds[k] {
+			t.Fatalf("timeline missing %s event: %v", k, kinds)
+		}
+	}
+
+	// Chrome trace export of the same session
+	rec = get(h, "/debug/flight/"+first.ID+"?format=trace")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("trace export status %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+		t.Fatalf("trace export shape: %.120s", rec.Body.String())
+	}
+}
+
+func TestFlightEndpointErrors(t *testing.T) {
+	_, h := flightServer(t)
+
+	// unknown session: 404 with a JSON error body, never 200+empty
+	rec := get(h, "/debug/flight/no-such-subscriber/123.5")
+	if rec.Code != 404 {
+		t.Fatalf("unknown session status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("404 Content-Type = %q", ct)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Fatalf("404 body not a JSON error: %s", rec.Body.String())
+	}
+
+	// non-numeric session key: 400
+	if rec := get(h, "/debug/flight/sub/not-a-number"); rec.Code != 400 {
+		t.Fatalf("non-numeric session status %d", rec.Code)
+	}
+
+	// same for the trace form
+	if rec := get(h, "/debug/flight/no-such-subscriber/123.5?format=trace"); rec.Code != 404 {
+		t.Fatalf("unknown trace status %d", rec.Code)
+	}
+
+	// the method pattern rejects writes
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/flight", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /debug/flight status %d, want 405", rec.Code)
+	}
+}
+
+func TestFlightDisabledServesEmptyIndex(t *testing.T) {
+	fw, _ := testFramework(t)
+	srv := NewServerOpts(fw, Options{Flight: flight.Config{Disabled: true}})
+	defer srv.Drain()
+	h := srv.Handler()
+
+	rec := get(h, "/debug/flight")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var snap flight.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Retained) != 0 {
+		t.Fatalf("disabled recorder retained %d sessions", len(snap.Retained))
+	}
+	if rec := get(h, "/debug/flight/sub/10"); rec.Code != 404 {
+		t.Fatalf("disabled session fetch status %d, want 404", rec.Code)
+	}
+	if srv.Flight() != nil {
+		t.Fatal("Flight() should be nil when disabled")
+	}
+}
+
+func TestDebugSessionsContentTypeAndSubscriber404(t *testing.T) {
+	fw, study := testFramework(t)
+	srv := NewServer(fw)
+	defer srv.Drain()
+	h := srv.Handler()
+
+	// feed half the stream so some sessions stay open
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest", entriesJSONL(t, study.Stream[:len(study.Stream)/2])))
+	if rec.Code != 200 {
+		t.Fatalf("ingest status %d", rec.Code)
+	}
+
+	rec = get(h, "/debug/sessions")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("/debug/sessions status %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var resp DebugSessionsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Open == 0 {
+		t.Fatal("no open sessions after half the stream")
+	}
+
+	// drill into one open subscriber
+	var sub string
+	for _, sh := range resp.Shards {
+		for _, sess := range sh.Sessions {
+			sub = sess.Subscriber
+		}
+	}
+	rec = get(h, "/debug/sessions/"+sub)
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("subscriber drill-down status %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var one DebugSubscriberSessions
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Subscriber != sub || len(one.Sessions) == 0 {
+		t.Fatalf("drill-down payload: %+v", one)
+	}
+
+	// unknown subscriber: 404 JSON, not 200+empty
+	rec = get(h, "/debug/sessions/no-such-subscriber")
+	if rec.Code != 404 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("unknown subscriber status %d type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Fatalf("404 body not a JSON error: %s", rec.Body.String())
+	}
+}

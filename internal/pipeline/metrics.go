@@ -12,6 +12,7 @@ import (
 	"vqoe/internal/cohort"
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/wire"
@@ -69,6 +70,11 @@ type Metrics struct {
 	// (typically cohort.Rollup.Snapshot) for the vqoe_cohort_*
 	// families. The rollup's cardinality cap bounds the label space.
 	cohortStats func() *cohort.Snapshot
+
+	// flightStats, when attached, supplies the flight recorder's
+	// counters (typically flight.Recorder.Metrics) for the
+	// vqoe_flight_* families.
+	flightStats func() flight.MetricsSnapshot
 
 	// runtime controls whether process-introspection gauges
 	// (goroutines, heap, GC pauses) are appended to the exposition.
@@ -132,6 +138,14 @@ func (m *Metrics) AttachWire(fn func() wire.Snapshot) {
 func (m *Metrics) AttachCohorts(fn func() *cohort.Snapshot) {
 	m.mu.Lock()
 	m.cohortStats = fn
+	m.mu.Unlock()
+}
+
+// AttachFlight wires the session flight recorder into the exposition;
+// fn is usually (*flight.Recorder).Metrics. Pass nil to detach.
+func (m *Metrics) AttachFlight(fn func() flight.MetricsSnapshot) {
+	m.mu.Lock()
+	m.flightStats = fn
 	m.mu.Unlock()
 }
 
@@ -209,6 +223,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	defer m.mu.Unlock()
 	e := &expoWriter{w: w}
 
+	bi := buildInfo()
+	e.family("vqoe_build_info", "Build metadata of the running binary (constant 1).", "gauge")
+	e.printf("vqoe_build_info{go_version=%q,version=%q} 1\n", bi.goVersion, bi.version)
+
 	e.family("vqoe_entries_total", "Weblog entries processed.", "counter")
 	e.printf("vqoe_entries_total %d\n", m.entriesTotal.Load())
 
@@ -249,6 +267,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if m.cohortStats != nil {
 		m.writeCohorts(e, m.cohortStats())
+	}
+	if m.flightStats != nil {
+		m.writeFlight(e, m.flightStats())
 	}
 	if e.err != nil {
 		return e.n, e.err
@@ -470,6 +491,37 @@ func (m *Metrics) writeCohorts(e *expoWriter, snap *cohort.Snapshot) {
 	e.printf("vqoe_cohort_capacity %d\n", snap.Capacity)
 	e.family("vqoe_cohort_evicted_total", "Distinct cohort keys folded into the overflow bucket by the cap.", "counter")
 	e.printf("vqoe_cohort_evicted_total %d\n", snap.Evicted)
+}
+
+// writeFlight renders the session flight recorder families: sampling
+// counters split by retention policy, plus the resident-memory gauges
+// behind the per-shard byte caps.
+func (m *Metrics) writeFlight(e *expoWriter, s flight.MetricsSnapshot) {
+	e.family("vqoe_flight_recorded_sessions_total", "Closed sessions that ran the flight recorder's tail-sampling decision.", "counter")
+	e.printf("vqoe_flight_recorded_sessions_total %d\n", s.Recorded)
+	e.family("vqoe_flight_retained_sessions_total", "Sessions whose full timeline was retained.", "counter")
+	e.printf("vqoe_flight_retained_sessions_total %d\n", s.Retained)
+
+	e.family("vqoe_flight_retained_by_reason_total", "Retention decisions per tail-sampling policy (one session may count under several).", "counter")
+	reasons := make([]string, 0, len(s.ByReason))
+	for r := range s.ByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		e.printf("vqoe_flight_retained_by_reason_total{reason=%q} %d\n", r, s.ByReason[r])
+	}
+
+	e.family("vqoe_flight_resident_sessions", "Retained sessions currently resident in the rings.", "gauge")
+	e.printf("vqoe_flight_resident_sessions %d\n", s.Resident)
+	e.family("vqoe_flight_retained_bytes", "Estimated bytes held by resident timelines.", "gauge")
+	e.printf("vqoe_flight_retained_bytes %d\n", s.Bytes)
+	e.family("vqoe_flight_capacity_bytes", "Configured byte budget across all shards.", "gauge")
+	e.printf("vqoe_flight_capacity_bytes %d\n", s.CapacityBytes)
+	e.family("vqoe_flight_evicted_sessions_total", "Retained sessions evicted oldest-first by the byte budget.", "counter")
+	e.printf("vqoe_flight_evicted_sessions_total %d\n", s.Evicted)
+	e.family("vqoe_flight_truncated_events_total", "Chunk events dropped by the per-session timeline cap.", "counter")
+	e.printf("vqoe_flight_truncated_events_total %d\n", s.TruncatedEvents)
 }
 
 // sortedIdx returns the index permutation that visits names in sorted

@@ -13,6 +13,7 @@ import (
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/features"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
@@ -62,6 +63,10 @@ type Analyzer struct {
 	// cohorts, when attached, folds every finished session's MOS into
 	// the fleet rollup (as stripe 0).
 	cohorts *cohort.Rollup
+
+	// flight, when attached, runs every finished session through the
+	// flight recorder's tail-sampling decision (as stripe 0).
+	flight *flight.ShardRecorder
 }
 
 // New creates an Analyzer emitting reports from the given framework.
@@ -110,6 +115,15 @@ func (a *Analyzer) SetCohorts(r *cohort.Rollup) { a.cohorts = r }
 
 // Cohorts returns the attached rollup (nil when detached).
 func (a *Analyzer) Cohorts() *cohort.Rollup { return a.cohorts }
+
+// SetFlight attaches a session flight recorder to the serial path:
+// every finished session runs the tail-sampling decision on the
+// recorder's stripe 0, exactly as an engine shard would. Pass nil to
+// detach.
+func (a *Analyzer) SetFlight(r *flight.Recorder) {
+	r.SetAttributor(a.fw.AttributeVectors)
+	a.flight = r.Shard(0)
+}
 
 // ObserveLabel feeds one delayed ground-truth label to the attached
 // quality monitor, reporting whether it matched a tracked prediction
@@ -184,15 +198,21 @@ func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
 		a.stages.ObserveSince(obs.StageFeaturize, t0)
 	}
 	if o.Len() < a.cfg.MinChunks {
+		a.flight.Discard()
 		return SessionReport{}, false
 	}
 	var rep core.Report
-	if a.quality != nil {
+	if a.quality != nil || a.flight != nil {
 		// batch-of-one through the quality-hooked path: reports are
 		// identical to AnalyzeObs (the hook only observes), and the
-		// scratch exposes the projected vectors the monitor needs
+		// scratch exposes the projected vectors the monitor and the
+		// flight recorder's decision-path attribution both need
 		a.qobs[0] = o
 		rep = a.fw.AnalyzeBatchQuality(a.qobs[:], a.stages, &a.qsc, a.quality)[0]
+	} else {
+		rep = a.fw.AnalyzeObs(o, a.stages)
+	}
+	if a.quality != nil {
 		a.quality.Monitor.TrackPrediction(qualitymon.Prediction{
 			Subscriber: c.Subscriber,
 			Start:      c.Start,
@@ -202,11 +222,24 @@ func (a *Analyzer) finish(c sessionizer.Closed) (SessionReport, bool) {
 			StallConf:  rep.StallConf,
 			RepConf:    rep.RepConf,
 		})
-	} else {
-		rep = a.fw.AnalyzeObs(o, a.stages)
 	}
 	if a.cohorts != nil {
 		a.cohorts.Observe(0, cohort.FromSession(c.Entries), rep)
+	}
+	if a.flight != nil {
+		if reasons, score, ok := a.flight.Decide(rep); ok {
+			stallProj, repProj := a.fw.ProjectedCopies(&a.qsc, 0)
+			a.flight.Retain(flight.Assessment{
+				Subscriber: c.Subscriber,
+				Start:      c.Start,
+				End:        c.End,
+				Report:     rep,
+				Entries:    c.Entries,
+				Cohort:     cohort.FromSession(c.Entries).String(),
+				StallProj:  stallProj,
+				RepProj:    repProj,
+			}, score, reasons)
+		}
 	}
 	return SessionReport{
 		Subscriber: c.Subscriber,

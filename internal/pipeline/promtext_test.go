@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"vqoe/internal/engine"
+	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/workload"
 )
@@ -387,9 +388,38 @@ func TestExpositionValid(t *testing.T) {
 		// metadata, so the rollup must be populated
 		"vqoe_cohort_sessions_total", "vqoe_cohort_mos",
 		"vqoe_cohort_impaired_total", "vqoe_cohort_capacity", "vqoe_cohort_evicted_total",
+		// binary identity and the flight recorder counters (the recorder
+		// is on by default, so the families are always exposed)
+		"vqoe_build_info",
+		"vqoe_flight_recorded_sessions_total", "vqoe_flight_retained_sessions_total",
+		"vqoe_flight_retained_by_reason_total", "vqoe_flight_resident_sessions",
+		"vqoe_flight_retained_bytes", "vqoe_flight_capacity_bytes",
+		"vqoe_flight_evicted_sessions_total", "vqoe_flight_truncated_events_total",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+
+	// build info is a constant-1 gauge whose labels identify the binary
+	if f := fams["vqoe_build_info"]; f != nil {
+		if f.typ != "gauge" || len(f.samples) != 1 {
+			t.Errorf("vqoe_build_info type %q samples %d, want gauge/1", f.typ, len(f.samples))
+		} else {
+			s := f.samples[0]
+			if s.value != 1 {
+				t.Errorf("vqoe_build_info = %v, want 1", s.value)
+			}
+			if s.labels["go_version"] == "" || s.labels["version"] == "" {
+				t.Errorf("vqoe_build_info labels = %v", s.labels)
+			}
+		}
+	}
+
+	// every retention policy appears as a reason label, even at zero
+	if f := fams["vqoe_flight_retained_by_reason_total"]; f != nil {
+		if len(f.samples) != flight.NumReasons {
+			t.Errorf("vqoe_flight_retained_by_reason_total has %d series, want %d", len(f.samples), flight.NumReasons)
 		}
 	}
 

@@ -7,14 +7,17 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
 	"vqoe/internal/engine"
 	"vqoe/internal/features"
+	"vqoe/internal/flight"
 	"vqoe/internal/mos"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/sessionizer"
 	"vqoe/internal/weblog"
 	"vqoe/internal/wire"
 )
@@ -45,6 +48,13 @@ import (
 //	GET  /debug/trace    — session-lifecycle ring as Chrome
 //	                       trace_event JSON (load in chrome://tracing
 //	                       or Perfetto).
+//	GET  /debug/flight   — tail-sampled session flight-recorder index,
+//	                       worst sessions first.
+//	GET  /debug/flight/{subscriber}/{session} — one retained session's
+//	                       full event timeline; ?format=trace renders
+//	                       it as Chrome trace_event JSON.
+//	GET  /debug/sessions/{subscriber} — one subscriber's open sessions
+//	                       (404 when none are open).
 //	GET  /debug/pprof/   — net/http/pprof, only with Options.Pprof.
 //
 // Server is safe for concurrent use. /ingest routes through the
@@ -58,6 +68,7 @@ type Server struct {
 	metrics *Metrics
 	eng     *engine.Engine
 	obs     *obs.Observer
+	flight  *flight.Recorder
 	opts    Options
 }
 
@@ -92,6 +103,13 @@ type Options struct {
 	// <= 0). The rollup itself is always on: every shard feeds it,
 	// /debug/cohorts reports it, and /metrics exports vqoe_cohort_*.
 	CohortMax int
+	// Flight tunes the session flight recorder (tail-sampled
+	// per-session timelines behind /debug/flight, exemplar links in
+	// /debug/cohorts and /debug/quality, vqoe_flight_* metrics). Zero
+	// fields take flight defaults; Shards is overwritten with the
+	// engine's shard count; set Disabled to turn recording off
+	// entirely (zero hot-path cost).
+	Flight flight.Config
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -117,6 +135,20 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	qm := core.NewQualityMonitor(fw, ecfg.Shards, opts.Quality)
 	ecfg.Quality = qm
 	ecfg.Cohorts = cohort.NewRollup(cohort.Config{Shards: ecfg.Shards, MaxCohorts: opts.CohortMax})
+	fcfg := opts.Flight
+	fcfg.Shards = ecfg.Shards
+	rec := flight.New(fcfg) // nil when opts.Flight.Disabled
+	ecfg.Flight = rec
+	s.flight = rec
+	if rec != nil {
+		// the drill-down chain: cohort and quality snapshots link to
+		// retained sessions, labeled-wrong outcomes promote them
+		k := rec.Config().Exemplars
+		ecfg.Cohorts.SetExemplars(func(key string) []string {
+			return rec.CohortExemplars(key, k)
+		})
+		WireFlightQuality(qm, rec)
+	}
 	// sink: reports produced outside a request — the wire listener's
 	// Feed path, capture loops, auto-eviction — still hit metrics
 	s.eng = engine.New(fw, ecfg, func(r engine.Report) {
@@ -132,8 +164,43 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 		s.metrics.AttachQuality(qm.Snapshot)
 	}
 	s.metrics.AttachCohorts(ecfg.Cohorts.Snapshot)
+	if rec != nil {
+		s.metrics.AttachFlight(rec.Metrics)
+	}
 	return s
 }
+
+// WireFlightQuality connects the model-quality monitor to the flight
+// recorder: degraded-model verdicts expose exemplar session IDs, and
+// mispredicted labels promote the retained session (labeled_wrong)
+// with a note naming both classes. Both arguments must be non-nil.
+func WireFlightQuality(qm *qualitymon.Monitor, rec *flight.Recorder) {
+	qm.SetExemplarSource(rec.ModelExemplars)
+	qm.SetOutcomeHook(func(o qualitymon.Outcome) {
+		if !o.StallCorrect {
+			rec.ObserveOutcome(o.Prediction.Subscriber, o.Prediction.Start, o.Prediction.End,
+				"stall", "predicted "+className(features.StallLabelNames, o.Prediction.Stall)+
+					", labeled "+className(features.StallLabelNames, o.Label.Stall))
+		}
+		if !o.RepCorrect {
+			rec.ObserveOutcome(o.Prediction.Subscriber, o.Prediction.Start, o.Prediction.End,
+				"rep", "predicted "+className(features.RepLabelNames, o.Prediction.Rep)+
+					", labeled "+className(features.RepLabelNames, o.Label.Rep))
+		}
+	})
+}
+
+// className renders a model class index through its schema, falling
+// back to the bare index for out-of-range values (future schemas).
+func className(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return "class " + strconv.Itoa(i)
+}
+
+// Flight exposes the session flight recorder (nil when disabled).
+func (s *Server) Flight() *flight.Recorder { return s.flight }
 
 // Metrics exposes the collector (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -212,6 +279,9 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/sessions", s.handleDebugSessions)
+	mux.HandleFunc("GET /debug/sessions/{subscriber}", s.handleDebugSessionsSubscriber)
+	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("GET /debug/flight/{subscriber}/{session}", s.handleDebugFlightSession)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	if s.opts.Pprof {
 		obs.RegisterPprof(mux)
@@ -236,6 +306,63 @@ func (s *Server) handleDebugSessions(w http.ResponseWriter, r *http.Request) {
 		resp.Open += len(sh.Sessions)
 	}
 	writeJSON(w, resp)
+}
+
+// DebugSubscriberSessions is the JSON shape of
+// /debug/sessions/{subscriber}: one subscriber's open sessions across
+// all shards.
+type DebugSubscriberSessions struct {
+	Subscriber string                    `json:"subscriber"`
+	Sessions   []sessionizer.OpenSession `json:"sessions"`
+}
+
+func (s *Server) handleDebugSessionsSubscriber(w http.ResponseWriter, r *http.Request) {
+	sub := r.PathValue("subscriber")
+	resp := DebugSubscriberSessions{Subscriber: sub}
+	for _, sh := range s.eng.OpenSessions() {
+		for _, sess := range sh.Sessions {
+			if sess.Subscriber == sub {
+				resp.Sessions = append(resp.Sessions, sess)
+			}
+		}
+	}
+	if len(resp.Sessions) == 0 {
+		writeJSONError(w, http.StatusNotFound, "no open sessions for subscriber "+sub)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	// nil-safe: with recording disabled this serves an empty index
+	writeJSON(w, s.flight.Snapshot())
+}
+
+func (s *Server) handleDebugFlightSession(w http.ResponseWriter, r *http.Request) {
+	sub := r.PathValue("subscriber")
+	sessKey := r.PathValue("session")
+	start, err := strconv.ParseFloat(sessKey, 64)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest,
+			"session must be the numeric start time from the flight index id")
+		return
+	}
+	if r.URL.Query().Get("format") == "trace" {
+		evs := s.flight.ChromeTrace(sub, start)
+		if evs == nil {
+			writeJSONError(w, http.StatusNotFound, "no retained flight session "+sub+"/"+sessKey)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeEvents(w, evs)
+		return
+	}
+	sess := s.flight.Get(sub, start)
+	if sess == nil {
+		writeJSONError(w, http.StatusNotFound, "no retained flight session "+sub+"/"+sessKey)
+		return
+	}
+	writeJSON(w, sess)
 }
 
 func (s *Server) handleDebugQuality(w http.ResponseWriter, r *http.Request) {
@@ -458,4 +585,13 @@ func decodeJSONL(r *http.Request) ([]weblog.Entry, []qualitymon.Label, error) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONError mirrors writeJSON for error responses so the debug
+// API speaks JSON consistently (404s included) instead of http.Error's
+// text/plain.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

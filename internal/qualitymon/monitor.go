@@ -126,6 +126,25 @@ type Monitor struct {
 	labelsMatched atomic.Int64
 	labelsEvicted atomic.Int64
 	predsEvicted  atomic.Int64
+
+	// outcome, when set, receives every resolved (prediction, label)
+	// pair — the flight recorder uses it to promote retained sessions
+	// whose label contradicted the prediction. Set at wiring time,
+	// before traffic.
+	outcome func(Outcome)
+
+	// exemplars, when set, resolves a degraded model name ("stall" or
+	// "rep") to retained flight-recorder session IDs for the snapshot.
+	exemplars func(model string) []string
+}
+
+// Outcome is one resolved (prediction, ground-truth label) pair, as
+// delivered to the hook installed by SetOutcomeHook.
+type Outcome struct {
+	Prediction   Prediction
+	Label        Label
+	StallCorrect bool
+	RepCorrect   bool
 }
 
 // pendingStripe buffers unmatched predictions and labels for one
@@ -252,12 +271,41 @@ func (m *Monitor) ObserveLabel(l Label) bool {
 	return false
 }
 
+// SetOutcomeHook installs a callback invoked for every resolved
+// (prediction, label) pair, outside any stripe lock. Wire it before
+// traffic; pass nil to detach.
+func (m *Monitor) SetOutcomeHook(fn func(Outcome)) {
+	if m == nil {
+		return
+	}
+	m.outcome = fn
+}
+
+// SetExemplarSource attaches the flight recorder's degraded-model
+// exemplar resolver for Snapshot. Wire it before traffic; pass nil to
+// detach.
+func (m *Monitor) SetExemplarSource(fn func(model string) []string) {
+	if m == nil {
+		return
+	}
+	m.exemplars = fn
+}
+
 // resolve feeds one matched (prediction, label) pair into both models'
-// confusion and labeled-calibration accumulators.
+// confusion and labeled-calibration accumulators, then the outcome
+// hook. Callers hold no stripe lock here.
 func (m *Monitor) resolve(p Prediction, l Label) {
 	m.labelsMatched.Add(1)
 	m.Stall.observeLabel(p.Stall, p.StallConf, l.Stall)
 	m.Rep.observeLabel(p.Rep, p.RepConf, l.Rep)
+	if m.outcome != nil {
+		m.outcome(Outcome{
+			Prediction:   p,
+			Label:        l,
+			StallCorrect: p.Stall == l.Stall,
+			RepCorrect:   p.Rep == l.Rep,
+		})
+	}
 }
 
 // bestLabelMatch finds the buffered label with the largest interval

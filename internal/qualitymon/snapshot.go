@@ -46,6 +46,11 @@ type ModelSnapshot struct {
 
 	Degraded bool     `json:"degraded"`
 	Reasons  []string `json:"reasons,omitempty"`
+	// Exemplars links a degraded model to retained flight-recorder
+	// sessions ("subscriber/start" IDs: low-confidence predictions and
+	// labeled-wrong outcomes, worst MOS first), when a flight recorder
+	// is wired. Filled per Snapshot call, degraded models only.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // SwitchSnapshot summarizes the CUSUM switch detector's serve-time
@@ -100,9 +105,14 @@ func (m *Monitor) Snapshot() Snapshot {
 		},
 		Thresholds: m.th,
 	}
-	for _, ms := range s.Models {
-		if ms.Degraded {
-			s.Degraded = true
+	modelKeys := [...]string{"stall", "rep"} // Models order above
+	for i := range s.Models {
+		if !s.Models[i].Degraded {
+			continue
+		}
+		s.Degraded = true
+		if m.exemplars != nil {
+			s.Models[i].Exemplars = m.exemplars(modelKeys[i])
 		}
 	}
 	return s

@@ -71,9 +71,14 @@ type Entry struct {
 
 // IsVideoHost reports whether the entry hits the media delivery CDN
 // (googlevideo.com edge nodes) rather than page or stats machinery.
-func (e Entry) IsVideoHost() bool {
-	return len(e.Host) > len(videoHostSuffix) &&
-		e.Host[len(e.Host)-len(videoHostSuffix):] == videoHostSuffix
+func (e Entry) IsVideoHost() bool { return IsVideoHost(e.Host) }
+
+// IsVideoHost reports whether host is a media (chunk-serving) CDN
+// server name. The free function spares hot loops the Entry copy the
+// value-receiver method costs.
+func IsVideoHost(host string) bool {
+	return len(host) > len(videoHostSuffix) &&
+		host[len(host)-len(videoHostSuffix):] == videoHostSuffix
 }
 
 const videoHostSuffix = ".googlevideo.com"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance suite and emit BENCH_PR7.json.
+# bench.sh — run the performance suite and emit BENCH_PR8.json.
 #
 # Covers the layers the perf-sensitive PRs touch:
 #   - internal/ml forest benchmarks (flat vs pointer walk, batch
@@ -13,17 +13,43 @@
 #     stream (wire must be >= 2x HTTP entries/s)
 #   - the fleet cohort rollup on/off pair on the same live stream
 #     (the on/off entries/s delta must stay <= 2%)
+#   - the session flight recorder paired on/off benchmark: both arms
+#     run back-to-back inside every iteration (GC-flushed, order
+#     alternating, 6 feeds per timed sample) and the summary statistics
+#     are medians — the median of the per-pair deltas, so one
+#     steal-throttled sample cannot swing the reading — reported on the
+#     single FlightOverhead line as off_entries/s, on_entries/s, and
+#     overhead% (the bar: overhead% <= 2). It gets its own invocation
+#     with a fixed -benchtime=30x: the default 1s budget would stop at
+#     2-3 pairs, far too few for a stable median on a noisy host.
+#
+# Ordering matters on burstable cloud hosts: the paired on/off
+# benchmarks (FlightOverhead, CohortRollupOverhead) run FIRST, while
+# the machine still has its CPU burst budget. After minutes of
+# sustained 100% CPU the hypervisor's steal time rises and gets
+# bursty, which widens the per-pair delta distribution — the medians
+# still converge, but from far fewer honest samples. The absolute-
+# throughput benchmarks are merely uniformly slower in that regime,
+# so they go last.
 #
 # Usage: scripts/bench.sh [output.json]
-# The JSON maps benchmark name -> {ns_op, allocs_op, bytes_op, extra}
-# where extra carries the benchmark's custom metric (entries/s,
-# instances/s, acc%) when one is reported.
+# The JSON maps benchmark name -> {ns_op, allocs_op, bytes_op, ...}
+# plus one key per custom metric the benchmark reports (entries/s,
+# instances/s, acc%, overhead%); a line may carry several.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
+
+echo "== flight recorder paired overhead benchmark" >&2
+go test -run xxx -bench 'FlightOverhead$' -benchtime=30x \
+    -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
+
+echo "== cohort rollup paired overhead benchmark" >&2
+go test -run xxx -bench 'CohortRollupOverhead' \
+    -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
 
 echo "== ml forest/induction benchmarks" >&2
 go test -run xxx -bench 'ForestPredictFlat$|ForestPredictPointer$|ForestPredictBatchInto$|ForestPredictBatchParallel$|TreeInduction$|TrainTree$' \
@@ -34,7 +60,7 @@ go test -run xxx -bench 'FrameDecode$|FrameEncode$|ServerThroughput' \
     -benchmem -count=1 -timeout 10m ./internal/wire/ | tee -a "$tmp" >&2
 
 echo "== engine ingest, transport pair + Table 3 benchmarks" >&2
-go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|HTTPIngest$|WireIngest$|CohortRollupOverhead|Table3StallCleartext$' \
+go test -run xxx -bench 'EngineIngest/subs=128/shards=4$|HTTPIngest$|WireIngest$|Table3StallCleartext$' \
     -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
 
 # Parse `go test -bench` lines into JSON. A line looks like:
@@ -43,20 +69,20 @@ awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; extra = ""; extraname = ""
+    ns = ""; bytes = ""; allocs = ""; extras = ""
     for (i = 3; i < NF; i++) {
-        if ($(i + 1) == "ns/op") ns = $i
-        else if ($(i + 1) == "B/op") bytes = $i
-        else if ($(i + 1) == "allocs/op") allocs = $i
-        else if ($(i + 1) ~ /\//) { extra = $i; extraname = $(i + 1) }
-        else if ($(i + 1) == "acc%") { extra = $i; extraname = "acc%" }
+        u = $(i + 1)
+        if (u == "ns/op") ns = $i
+        else if (u == "B/op") bytes = $i
+        else if (u == "allocs/op") allocs = $i
+        else if (u ~ /\/|%/) extras = extras sprintf(", \"%s\": %s", u, $i)
     }
     if (!first) printf ",\n"
     first = 0
     printf "  \"%s\": {\"ns_op\": %s", name, (ns == "" ? "null" : ns)
     printf ", \"bytes_op\": %s", (bytes == "" ? "null" : bytes)
     printf ", \"allocs_op\": %s", (allocs == "" ? "null" : allocs)
-    if (extra != "") printf ", \"%s\": %s", extraname, extra
+    printf "%s", extras
     printf "}"
 }
 END { print "\n}" }

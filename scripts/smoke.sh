@@ -87,6 +87,9 @@ for family in \
     vqoe_model_feature_psi \
     vqoe_model_degraded \
     vqoe_quality_labels_total \
+    vqoe_build_info \
+    vqoe_flight_recorded_sessions_total \
+    vqoe_flight_retained_sessions_total \
     vqoe_go_goroutines; do
     grep -q "^$family" "$TMP/metrics.txt" ||
         { echo "missing family $family" >&2; exit 1; }
@@ -157,6 +160,47 @@ PY
 grep -q '^vqoe_cohort_sessions_total' "$TMP/metrics.txt" ||
     curl -fsS "$BASE/metrics" | grep -q '^vqoe_cohort_sessions_total' ||
     { echo "missing family vqoe_cohort_sessions_total" >&2; exit 1; }
+
+echo "== flight recorder drill-down"
+# a regional hotspot guarantees stalled / worst-decile sessions the
+# tail sampler must keep; then walk the full drill-down chain: index →
+# one retained session's timeline → its Chrome trace export
+"$TMP/qoegen" -kind live -subscribers 32 -n 3 -seed 11 -hotspot eu-west \
+    -hotspot-severity 0.9 -format jsonl >"$TMP/hotspot.jsonl"
+curl -fsS -X POST --data-binary @"$TMP/hotspot.jsonl" "$BASE/ingest" >/dev/null
+curl -fsS "$BASE/debug/flight" >"$TMP/flight.json"
+FLIGHT_ID=$(python3 - "$TMP/flight.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+retained = doc["retained"]
+assert retained, "hotspot load left nothing in the flight recorder"
+assert doc["counters"]["retained_sessions"] > 0
+interesting = [s for s in retained
+               if {"stalled", "worst_mos"} & set(s["reasons"])]
+assert interesting, \
+    f"no stalled/worst-decile retention among {len(retained)} sessions"
+mos = [s["mos"] for s in retained]
+assert mos == sorted(mos), "flight index not worst-first"
+print(interesting[0]["id"])
+PY
+)
+echo "   worst retained session: $FLIGHT_ID"
+curl -fsS "$BASE/debug/flight/$FLIGHT_ID" >"$TMP/timeline.json"
+python3 - "$TMP/timeline.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+tl = doc["timeline"]
+assert tl, f"retained session {doc['id']} has an empty timeline"
+kinds = {e["kind"] for e in tl}
+for want in ("features", "stall_verdict", "rep_verdict", "mos"):
+    assert want in kinds, f"timeline lacks a {want} event: {sorted(kinds)}"
+print(f"   timeline: {len(tl)} events ({', '.join(sorted(kinds))})")
+PY
+curl -fsS "$BASE/debug/flight/$FLIGHT_ID?format=trace" | grep -q '"traceEvents"'
+# unknown IDs answer 404 with a JSON error, never 200 + empty
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/flight/nobody/123.5")
+test "$CODE" = 404 || { echo "unknown flight session returned $CODE" >&2; exit 1; }
+echo "   drill-down chain ok"
 
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
