@@ -372,3 +372,25 @@ func TestPredictBatchMatchesSingle(t *testing.T) {
 		}
 	}
 }
+
+// TestScoreIntoReuseMatchesScore drives one shared ScoreScratch
+// through the HAS corpus — interleaving empty and single-chunk
+// sessions — and checks every switch score is bit-identical to the
+// allocating Score path, the invariant the engine shard's batch
+// analysis relies on.
+func TestScoreIntoReuseMatchesScore(t *testing.T) {
+	testCorpora(t)
+	d := NewSwitchDetector()
+	var sc ScoreScratch
+	for si, s := range hasCorpus.Adaptive().Sessions {
+		if si >= 40 {
+			break
+		}
+		for _, o := range []features.SessionObs{s.Obs, {}, {Chunks: s.Obs.Chunks[:1]}} {
+			if got, want := d.ScoreInto(o, &sc), d.Score(o); got != want {
+				t.Fatalf("session %d (%d chunks): ScoreInto %v != Score %v",
+					si, len(o.Chunks), got, want)
+			}
+		}
+	}
+}

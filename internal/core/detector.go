@@ -223,6 +223,9 @@ type PredictScratch struct {
 	// (per shard) rather than on the shared detector keeps its
 	// construction race-free without a lock on the predict path.
 	sparse *features.Sparse
+	// series holds the sparse featurizer's reusable per-metric series
+	// buffers, so steady-state featurization allocates nothing.
+	series features.SeriesScratch
 }
 
 // grow returns b resized to n, reallocating only when capacity is
@@ -279,7 +282,7 @@ func (d *Detector) predictSparseInto(obs []features.SessionObs, s *PredictScratc
 	s.proj = grow(s.proj, n)
 	for i, o := range obs {
 		dst := s.projBuf[i*k : (i+1)*k]
-		s.sparse.EvalInto(o, dst)
+		s.sparse.EvalIntoScratch(o, dst, &s.series)
 		s.proj[i] = dst
 	}
 	s.dist = grow(s.dist, n*nc)

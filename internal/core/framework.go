@@ -126,6 +126,7 @@ type AnalyzeScratch struct {
 	stall, rep         PredictScratch
 	stallConf, repConf []float64
 	reports            []Report
+	sw                 ScoreScratch
 }
 
 // AnalyzeBatchInto is AnalyzeBatchObs with caller-owned buffers: the
@@ -165,7 +166,7 @@ func (f *Framework) AnalyzeBatchQuality(o []features.SessionObs, set *obs.StageS
 	sc.reports = grow(sc.reports, len(o))
 	out := sc.reports
 	for i, so := range o {
-		score := f.Switch.Score(so)
+		score := f.Switch.ScoreInto(so, &sc.sw)
 		out[i] = Report{
 			Stall:          features.StallLabel(stalls[i]),
 			Representation: features.RepLabel(reps[i]),

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"vqoe/internal/features"
+	"vqoe/internal/stats"
 	"vqoe/internal/timeseries"
 	"vqoe/internal/workload"
 )
@@ -36,6 +37,25 @@ func NewSwitchDetector() *SwitchDetector {
 // Score computes the session's change score STD(CUSUM(Δsize×Δt)).
 func (d *SwitchDetector) Score(obs features.SessionObs) float64 {
 	return timeseries.ChangeScore(features.SwitchSeries(obs, d.StartupFilterSec))
+}
+
+// ScoreScratch carries the switch scorer's reusable series buffers
+// (the Δsize×Δt products and the CUSUM chart over them) so a
+// long-lived caller scores with zero steady-state allocations. The
+// zero value is ready; a scratch is single-goroutine.
+type ScoreScratch struct {
+	series, chart []float64
+}
+
+// ScoreInto is Score with caller-owned buffers; values are
+// bit-identical (same series, same chart, same standard deviation).
+func (d *SwitchDetector) ScoreInto(obs features.SessionObs, sc *ScoreScratch) float64 {
+	sc.series = features.SwitchSeriesInto(obs, d.StartupFilterSec, sc.series)
+	if len(sc.series) == 0 {
+		return 0
+	}
+	sc.chart = timeseries.ChartInto(sc.series, sc.chart)
+	return stats.Std(sc.chart)
 }
 
 // Detect reports whether the session shows representation variance.

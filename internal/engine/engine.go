@@ -17,7 +17,6 @@
 package engine
 
 import (
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -137,6 +136,12 @@ type Engine struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
+	// interner maps subscriber strings and cohort keys to dense uint32
+	// IDs at the front door; slabs pools the per-batch routing storage
+	// (recycled when the last shard acks its sub-batch).
+	interner *interner
+	slabs    sync.Pool
+
 	mu     sync.RWMutex
 	closed bool
 }
@@ -149,9 +154,14 @@ func New(fw *core.Framework, cfg Config, sink func(Report)) *Engine {
 	cfg = cfg.WithDefaults()
 	cfg.Obs.EnsureShards(cfg.Shards) // no-op on a nil observer
 	cfg.Flight.SetAttributor(fw.AttributeVectors)
-	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	e := &Engine{
+		cfg:      cfg,
+		shards:   make([]*shard, cfg.Shards),
+		interner: newInterner(cfg.Shards),
+	}
+	e.slabs.New = func() any { return &recSlab{pool: &e.slabs} }
 	for i := range e.shards {
-		e.shards[i] = newShard(i, fw, cfg, sink)
+		e.shards[i] = newShard(i, fw, cfg, sink, e.interner)
 		e.wg.Add(1)
 		go e.shards[i].run(&e.wg)
 	}
@@ -187,66 +197,45 @@ func (e *Engine) ObserveLabel(l qualitymon.Label) bool {
 	return e.cfg.Quality.ObserveLabel(l)
 }
 
-func (e *Engine) shardOf(subscriber string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(subscriber))
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
-}
-
-// split partitions entries by shard, preserving arrival order. It
-// always copies into freshly allocated per-shard batches — never
-// retaining the caller's slice — so callers like the wire listener
-// can reuse their decode scratch the moment a feed call returns. The
-// copy runs in two passes over one backing array: a count pass sizes
-// every shard's region exactly, so a batch costs four allocations
-// regardless of shard count or batch size instead of O(shards·log n)
-// append regrowth.
-func (e *Engine) split(entries []weblog.Entry) [][]weblog.Entry {
-	n := uint32(len(e.shards))
-	idx := make([]uint32, len(entries))
-	counts := make([]uint32, n)
-	for i := range entries {
-		h := fnv.New32a()
-		h.Write([]byte(entries[i].Subscriber))
-		s := h.Sum32() % n
-		idx[i] = s
-		counts[s]++
+// route pre-digests a batch into a pooled slab of per-shard rec
+// sub-batches (see Engine.partition) and pre-accounts the slab's
+// refcount with the number of non-empty sub-batches, so delivery can
+// begin immediately: every delivered (or intentionally dropped)
+// sub-batch must be matched by exactly one release.
+func (e *Engine) route(entries []weblog.Entry) (*recSlab, int) {
+	b := e.partition(entries)
+	deliveries := 0
+	for _, batch := range b.per {
+		if len(batch) > 0 {
+			deliveries++
+		}
 	}
-	backing := make([]weblog.Entry, len(entries))
-	per := make([][]weblog.Entry, n)
-	off := uint32(0)
-	for s, c := range counts {
-		per[s] = backing[off : off : off+c]
-		off += c
-	}
-	for i := range entries {
-		s := idx[i]
-		per[s] = append(per[s], entries[i])
-	}
-	return per
+	b.pending.Store(int32(deliveries))
+	return b, deliveries
 }
 
 // Ingest processes a batch synchronously and returns the reports for
 // every session the batch completed (including sessions the batch's
 // eviction sweeps closed), ordered by session start time. It blocks
 // when mailboxes are full — the request/response backpressure path
-// used by the HTTP server's /ingest. Like Feed and Offer it copies
-// entries during the shard split and never retains the caller's
-// slice, so decode scratch can be reused as soon as it returns.
+// used by the HTTP server's /ingest. Like Feed and Offer it converts
+// entries into pooled rec slabs during routing and never retains the
+// caller's slice, so decode scratch can be reused as soon as it
+// returns.
 func (e *Engine) Ingest(entries []weblog.Entry) []Report {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed || len(entries) == 0 {
 		return nil
 	}
-	per := e.split(entries)
-	replies := make([]chan []Report, len(per))
-	for i, batch := range per {
+	b, _ := e.route(entries)
+	replies := make([]chan []Report, len(b.per))
+	for i, batch := range b.per {
 		if len(batch) == 0 {
 			continue
 		}
 		replies[i] = make(chan []Report, 1)
-		e.shards[i].mail <- message{entries: batch, reply: replies[i]}
+		e.shards[i].mail <- message{recs: batch, slab: b, reply: replies[i]}
 	}
 	var out []Report
 	for _, ch := range replies {
@@ -264,12 +253,13 @@ func (e *Engine) Ingest(entries []weblog.Entry) []Report {
 func (e *Engine) Feed(entries []weblog.Entry) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	if e.closed {
+	if e.closed || len(entries) == 0 {
 		return
 	}
-	for i, batch := range e.split(entries) {
+	b, _ := e.route(entries)
+	for i, batch := range b.per {
 		if len(batch) > 0 {
-			e.shards[i].mail <- message{entries: batch}
+			e.shards[i].mail <- message{recs: batch, slab: b}
 		}
 	}
 }
@@ -280,19 +270,21 @@ func (e *Engine) Feed(entries []weblog.Entry) {
 func (e *Engine) Offer(entries []weblog.Entry) int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	if e.closed {
+	if e.closed || len(entries) == 0 {
 		return 0
 	}
+	b, _ := e.route(entries)
 	accepted := 0
-	for i, batch := range e.split(entries) {
+	for i, batch := range b.per {
 		if len(batch) == 0 {
 			continue
 		}
 		select {
-		case e.shards[i].mail <- message{entries: batch}:
+		case e.shards[i].mail <- message{recs: batch, slab: b}:
 			accepted += len(batch)
 		default:
 			e.shards[i].dropped.Add(int64(len(batch)))
+			b.release() // undelivered sub-batch: drop its slab reference
 		}
 	}
 	return accepted

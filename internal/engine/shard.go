@@ -21,8 +21,12 @@ import (
 // produced (otherwise they go to the sink). sessions is the
 // observability snapshot request: the worker answers with its open
 // flow-table view and processes nothing else for that message.
+//
+// recs is a view into slab's shard-contiguous backing; the shard owns
+// it only until it releases the slab at the end of the message.
 type message struct {
-	entries  []weblog.Entry
+	recs     []sessionizer.Rec
+	slab     *recSlab
 	advance  float64 // >0: eviction sweep at this capture-clock time
 	flush    bool    // close everything (drain)
 	reply    chan []Report
@@ -38,8 +42,13 @@ type shard struct {
 	id      int
 	mail    chan message
 	fw      *core.Framework
-	tracker *sessionizer.Tracker
+	tracker *sessionizer.ColTracker
 	sink    func(Report)
+
+	// resolve and cohortOf map interned IDs back to their strings/keys
+	// (the engine interner's read side) — paid only at session close.
+	resolve  func(uint32) string
+	cohortOf func(uint32) cohort.Key
 
 	minChunks  int
 	evictSlack float64
@@ -74,11 +83,13 @@ type shard struct {
 	// per-shard scratch for the featurize→predict loop: the worker
 	// goroutine owns these exclusively, so steady-state batches reuse
 	// them instead of allocating (core.AnalyzeScratch carries the
-	// projection/distribution buffers down through the forests).
-	scratch core.AnalyzeScratch
-	sobsBuf []features.SessionObs
-	keptBuf []sessionizer.Closed
-	outBuf  []Report
+	// projection/distribution buffers down through the forests, and the
+	// closed/kept/report buffers recycle across messages).
+	scratch   core.AnalyzeScratch
+	sobsBuf   []features.SessionObs
+	closedBuf []sessionizer.ColClosed
+	keptBuf   []sessionizer.ColClosed
+	outBuf    []Report
 
 	// counters/gauges read by Snapshot
 	open    atomic.Int64
@@ -88,16 +99,18 @@ type shard struct {
 	evicted atomic.Int64
 }
 
-func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard {
+func newShard(id int, fw *core.Framework, cfg Config, sink func(Report), in *interner) *shard {
 	s := &shard{
 		id:   id,
 		mail: make(chan message, cfg.Mailbox),
 		fw:   fw,
-		tracker: sessionizer.NewTracker(sessionizer.Config{
+		tracker: sessionizer.NewColTracker(sessionizer.Config{
 			IdleGap:      cfg.IdleGapSec,
 			PageBoundary: true,
 		}),
 		sink:       sink,
+		resolve:    in.name,
+		cohortOf:   in.cohortKey,
 		minChunks:  cfg.MinChunks,
 		evictSlack: cfg.EvictSlackSec,
 		sweepEvery: cfg.SweepEverySec,
@@ -106,6 +119,7 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 		tracer:     cfg.Obs.Tracer(id),
 		log:        cfg.Obs.Logger(),
 	}
+	s.tracker.Resolve = in.name
 	if cfg.Quality != nil {
 		s.quality = &core.QualityHook{Monitor: cfg.Quality, Shard: id}
 	}
@@ -113,8 +127,8 @@ func newShard(id int, fw *core.Framework, cfg Config, sink func(Report)) *shard 
 	s.flight = cfg.Flight.Shard(id) // nil when recording is off
 	if s.tracer != nil {
 		tr, sid := s.tracer, int32(id)
-		s.tracker.OnOpen = func(sub string, start float64) {
-			tr.Record(obs.SpanEvent{Kind: obs.EvOpen, Shard: sid, TS: start, Start: start, Subscriber: sub})
+		s.tracker.OnOpen = func(sub uint32, start float64) {
+			tr.Record(obs.SpanEvent{Kind: obs.EvOpen, Shard: sid, TS: start, Start: start, Subscriber: in.name(sub)})
 		}
 	}
 	return s
@@ -137,45 +151,65 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			tIngest = time.Now()
 			t0 = tIngest
 		}
-		var closed []sessionizer.Closed
-		for _, e := range msg.entries {
-			s.events.Add(1)
-			if c, ok := s.tracker.Push(e); ok {
-				closed = append(closed, c)
-				s.trace(obs.EvClose, e.Timestamp, c)
+		closed := s.closedBuf[:0]
+		recs := msg.recs
+		if len(recs) > 0 {
+			// hoisted per-batch accounting: one counter add for the
+			// whole sub-batch instead of one per entry
+			s.events.Add(int64(len(recs)))
+		}
+		if s.tracer == nil {
+			// fast path: no per-entry tracer checks, no string work
+			for i := range recs {
+				r := &recs[i]
+				if c, ok := s.tracker.Push(r); ok {
+					closed = append(closed, c)
+				}
+				if r.Ts > s.highWater {
+					s.highWater = r.Ts
+				}
 			}
-			if s.tracer != nil && e.IsVideoHost() {
-				s.tracer.Record(obs.SpanEvent{Kind: obs.EvChunk, Shard: int32(s.id), TS: e.Timestamp, Subscriber: e.Subscriber})
-			}
-			if e.Timestamp > s.highWater {
-				s.highWater = e.Timestamp
+		} else {
+			for i := range recs {
+				r := &recs[i]
+				if c, ok := s.tracker.Push(r); ok {
+					closed = append(closed, c)
+					s.traceClosed(obs.EvClose, r.Ts, &c)
+				}
+				if r.Kind == weblog.HostMedia {
+					s.tracer.Record(obs.SpanEvent{Kind: obs.EvChunk, Shard: int32(s.id), TS: r.Ts, Subscriber: s.resolve(r.Sub)})
+				}
+				if r.Ts > s.highWater {
+					s.highWater = r.Ts
+				}
 			}
 		}
-		if timed && len(msg.entries) > 0 {
+		if timed && len(recs) > 0 {
 			s.stages.ObserveSince(obs.StageSessionize, t0)
 		}
 		// idle-eviction clock: sweep when event time has advanced
 		// enough, lagging the horizon by the configured slack so
 		// bounded cross-feeder skew cannot close a live session early.
 		if s.sweepEvery >= 0 && s.highWater-s.lastSweep >= s.sweepEvery {
-			closed = append(closed, s.sweep(s.highWater-s.evictSlack)...)
+			closed = s.sweep(s.highWater-s.evictSlack, closed)
 			s.lastSweep = s.highWater
 		}
 		if msg.advance > 0 {
-			closed = append(closed, s.sweep(msg.advance)...)
+			closed = s.sweep(msg.advance, closed)
 			if msg.advance > s.highWater {
 				s.highWater = msg.advance
 			}
 		}
 		if msg.flush {
-			fl := s.tracker.Flush()
-			for _, c := range fl {
-				s.trace(obs.EvClose, c.End, c)
+			n := len(closed)
+			closed = s.tracker.FlushInto(closed)
+			fl := closed[n:]
+			for i := range fl {
+				s.traceClosed(obs.EvClose, fl[i].End, &fl[i])
 			}
 			if s.log != nil {
 				s.log.Debug("shard drained", "shard", s.id, "flushed", len(fl), "high_water", s.highWater)
 			}
-			closed = append(closed, fl...)
 		}
 		s.open.Store(int64(s.tracker.Open()))
 
@@ -183,6 +217,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		// the next message is processed, so only the sink path may hand
 		// out the reusable buffer
 		out := s.assess(closed, msg.reply == nil)
+		s.closedBuf = closed[:0]
 		s.reports.Add(int64(len(out)))
 		if s.tracer != nil {
 			for _, r := range out {
@@ -200,39 +235,46 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				s.sink(r)
 			}
 		}
+		if msg.slab != nil {
+			msg.slab.release()
+		}
 		if timed {
 			s.stages.ObserveSince(obs.StageIngest, tIngest)
 		}
 	}
 }
 
-// sweep evicts sessions idle at the given horizon, recording them in
-// the eviction counter, the lifecycle trace, and the shard log.
-func (s *shard) sweep(horizon float64) []sessionizer.Closed {
-	ev := s.tracker.Advance(horizon)
+// sweep evicts sessions idle at the given horizon, appending them to
+// closed and recording them in the eviction counter, the lifecycle
+// trace, and the shard log.
+func (s *shard) sweep(horizon float64, closed []sessionizer.ColClosed) []sessionizer.ColClosed {
+	n := len(closed)
+	closed = s.tracker.AdvanceInto(horizon, closed)
+	ev := closed[n:]
 	if len(ev) == 0 {
-		return nil
+		return closed
 	}
 	s.evicted.Add(int64(len(ev)))
-	for _, c := range ev {
-		s.trace(obs.EvEvict, c.End, c)
+	for i := range ev {
+		s.traceClosed(obs.EvEvict, ev[i].End, &ev[i])
 	}
 	if s.log != nil {
 		s.log.Debug("idle sweep evicted sessions",
 			"shard", s.id, "evicted", len(ev), "horizon", horizon, "high_water", s.highWater)
 	}
-	return ev
+	return closed
 }
 
-// trace records one session-lifecycle event if tracing is attached.
-func (s *shard) trace(kind obs.EventKind, ts float64, c sessionizer.Closed) {
+// traceClosed records one session-lifecycle event if tracing is
+// attached; the subscriber string is resolved only on that path.
+func (s *shard) traceClosed(kind obs.EventKind, ts float64, c *sessionizer.ColClosed) {
 	if s.tracer == nil {
 		return
 	}
 	s.tracer.Record(obs.SpanEvent{
 		Kind: kind, Shard: int32(s.id), TS: ts,
-		Start: c.Start, End: c.End, Subscriber: c.Subscriber,
-		Chunks: int32(c.Chunks),
+		Start: c.Start, End: c.End, Subscriber: s.resolve(c.Sub),
+		Chunks: int32(len(c.Chunks)),
 	})
 }
 
@@ -243,28 +285,36 @@ func (s *shard) trace(kind obs.EventKind, ts float64, c sessionizer.Closed) {
 // true the returned slice aliases the shard's report buffer and is
 // only valid until the next assess call — the sink path consumes it
 // immediately, while reply paths need a fresh slice.
-func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
+//
+// Chunk-buffer ownership: each closed session's flow buffer plus the
+// sorted featurization copy are recycled here once the session is
+// fully consumed — flight retention compacts synchronously inside
+// Retain, so nothing references either buffer after the report loop.
+func (s *shard) assess(closed []sessionizer.ColClosed, reuse bool) []Report {
 	if len(closed) == 0 {
 		return nil
 	}
 	timed := s.stages != nil
 	sobs := s.sobsBuf[:0]
 	kept := s.keptBuf[:0]
-	for _, c := range closed {
+	for i := range closed {
+		c := &closed[i]
 		var t0 time.Time
 		if timed {
 			t0 = time.Now()
 		}
-		o := features.FromEntries(c.Entries)
+		o := features.FromChunks(c.Chunks, s.tracker.TakeChunks(len(c.Chunks)))
 		if timed {
 			s.stages.ObserveSince(obs.StageFeaturize, t0)
 		}
 		if o.Len() < s.minChunks {
 			s.flight.Discard()
+			s.tracker.Recycle(o.Chunks)
+			s.tracker.Recycle(c.Chunks)
 			continue
 		}
 		sobs = append(sobs, o)
-		kept = append(kept, c)
+		kept = append(kept, *c)
 	}
 	s.sobsBuf, s.keptBuf = sobs, kept
 	reps := s.fw.AnalyzeBatchQuality(sobs, s.stages, &s.scratch, s.quality)
@@ -275,20 +325,23 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 		out = make([]Report, 0, len(reps))
 	}
 	for i, r := range reps {
+		c := &kept[i]
+		name := s.resolve(c.Sub)
+		key := s.cohortOf(c.Cohort)
 		out = append(out, Report{
-			Subscriber: kept[i].Subscriber,
-			Start:      kept[i].Start,
-			End:        kept[i].End,
+			Subscriber: name,
+			Start:      c.Start,
+			End:        c.End,
 			Report:     r,
 		})
 		if s.cohorts != nil {
-			s.cohorts.Observe(s.id, cohort.FromSession(kept[i].Entries), r)
+			s.cohorts.Observe(s.id, key, r)
 		}
 		if s.quality != nil {
 			s.quality.Monitor.TrackPrediction(qualitymon.Prediction{
-				Subscriber: kept[i].Subscriber,
-				Start:      kept[i].Start,
-				End:        kept[i].End,
+				Subscriber: name,
+				Start:      c.Start,
+				End:        c.End,
 				Stall:      int(r.Stall),
 				Rep:        int(r.Representation),
 				StallConf:  r.StallConf,
@@ -301,18 +354,27 @@ func (s *shard) assess(closed []sessionizer.Closed, reuse bool) []Report {
 			if reasons, score, ok := s.flight.Decide(r); ok {
 				stallProj, repProj := s.fw.ProjectedCopies(&s.scratch, i)
 				s.flight.Retain(flight.Assessment{
-					Subscriber: kept[i].Subscriber,
-					Start:      kept[i].Start,
-					End:        kept[i].End,
+					Subscriber: name,
+					Start:      c.Start,
+					End:        c.End,
 					Report:     r,
-					Entries:    kept[i].Entries,
-					Cohort:     cohort.FromSession(kept[i].Entries).String(),
+					Chunks:     c.Chunks,
+					RawEntries: c.Entries,
+					Cohort:     key.String(),
 					StallProj:  stallProj,
 					RepProj:    repProj,
 				}, score, reasons)
 			}
 		}
-		s.trace(obs.EvAssess, kept[i].End, kept[i])
+		s.traceClosed(obs.EvAssess, c.End, c)
+	}
+	// batch fully consumed: recycle both the featurization copies and
+	// the flow buffers
+	for i := range sobs {
+		s.tracker.Recycle(sobs[i].Chunks)
+	}
+	for i := range kept {
+		s.tracker.Recycle(kept[i].Chunks)
 	}
 	if reuse {
 		s.outBuf = out

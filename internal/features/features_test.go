@@ -352,3 +352,62 @@ func TestSparseEmptySession(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalScratchReuseMatchesFresh drives one shared SeriesScratch
+// through a sequence of sessions of wildly different sizes — including
+// empty and single-chunk ones — and checks every vector is
+// bit-identical to a fresh-scratch evaluation. This is the engine
+// shard's usage pattern: stale buffer contents or capacities carried
+// across sessions must never leak into a later vector.
+func TestEvalScratchReuseMatchesFresh(t *testing.T) {
+	var obsSeq []SessionObs
+	for trial := 0; trial < 6; trial++ {
+		o, _ := sessionObs(t, int64(300+trial), trial%2 == 0)
+		obsSeq = append(obsSeq, o)
+		obsSeq = append(obsSeq, SessionObs{})                     // empty between real sessions
+		obsSeq = append(obsSeq, SessionObs{Chunks: o.Chunks[:1]}) // single chunk
+	}
+	cols := []int{0, 7, 33, 64, 101, 140, -1, 5}
+	run := func(sparse *Sparse, width int) {
+		var sc SeriesScratch
+		for si, obs := range obsSeq {
+			shared := make([]float64, width)
+			fresh := make([]float64, width)
+			sparse.EvalIntoScratch(obs, shared, &sc)
+			sparse.EvalInto(obs, fresh)
+			for i := range shared {
+				if shared[i] != fresh[i] {
+					t.Fatalf("session %d col %d: shared scratch %v != fresh %v",
+						si, i, shared[i], fresh[i])
+				}
+			}
+		}
+	}
+	run(NewStallSparse(cols[:5]), 5)
+	run(NewRepSparse(cols), 8)
+}
+
+// TestSwitchSeriesIntoReuseMatchesFresh checks the buffer-reusing
+// switch-series extraction against the allocating one across a session
+// sequence, including sessions short enough to yield no series (the
+// buffer's capacity must survive those for the next session).
+func TestSwitchSeriesIntoReuseMatchesFresh(t *testing.T) {
+	var obsSeq []SessionObs
+	for trial := 0; trial < 6; trial++ {
+		o, _ := sessionObs(t, int64(500+trial), trial%2 == 1)
+		obsSeq = append(obsSeq, o, SessionObs{}, SessionObs{Chunks: o.Chunks[:1]})
+	}
+	var buf []float64
+	for si, obs := range obsSeq {
+		buf = SwitchSeriesInto(obs, StartupFilterSec, buf)
+		want := SwitchSeries(obs, StartupFilterSec)
+		if len(buf) != len(want) {
+			t.Fatalf("session %d: into kept %d values, fresh %d", si, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("session %d value %d: %v != %v", si, i, buf[i], want[i])
+			}
+		}
+	}
+}

@@ -5,38 +5,124 @@ import (
 	"vqoe/internal/timeseries"
 )
 
-// A metric is one named per-chunk series.
+// A metric is one named per-chunk series. series returns a freshly
+// allocated slice; into writes the same values through a SeriesScratch
+// so the engine's steady-state prediction path allocates nothing. The
+// two are bit-identical by construction (same loops, same float order).
 type metric struct {
 	name   string
 	series func(SessionObs) []float64
+	into   func(SessionObs, *SeriesScratch) []float64
+}
+
+// SeriesScratch carries the reusable series buffers one sparse
+// evaluation threads through metric extraction: a holds the primary
+// per-chunk series, b the derived one (the CUSUM chart over
+// throughput). Buffers grow to the largest session seen and are then
+// reused; a scratch is single-goroutine.
+type SeriesScratch struct {
+	a, b []float64
+}
+
+// primary resizes and returns the scratch's primary series buffer.
+func (sc *SeriesScratch) primary(n int) []float64 {
+	if cap(sc.a) < n {
+		sc.a = make([]float64, n)
+	}
+	sc.a = sc.a[:n]
+	return sc.a
+}
+
+func (s SessionObs) fieldInto(sc *SeriesScratch, f func(ChunkObs) float64) []float64 {
+	out := sc.primary(len(s.Chunks))
+	for i, c := range s.Chunks {
+		out[i] = f(c)
+	}
+	return out
+}
+
+// diffInto writes the consecutive differences of per-chunk values —
+// stats.Diff of the extracted series, computed straight off the chunks.
+func (s SessionObs) diffInto(sc *SeriesScratch, f func(ChunkObs) float64) []float64 {
+	if len(s.Chunks) < 2 {
+		return nil
+	}
+	out := sc.primary(len(s.Chunks) - 1)
+	for i := 1; i < len(s.Chunks); i++ {
+		out[i-1] = f(s.Chunks[i]) - f(s.Chunks[i-1])
+	}
+	return out
+}
+
+// runningMeanSizesInto is runningMean(sizes) in one pass: the same
+// cumulative sum in the same order, so values are bit-identical.
+func (s SessionObs) runningMeanSizesInto(sc *SeriesScratch) []float64 {
+	out := sc.primary(len(s.Chunks))
+	var sum float64
+	for i, c := range s.Chunks {
+		sum += c.SizeKB
+		out[i] = sum / float64(i+1)
+	}
+	return out
 }
 
 // baseMetrics are the ten Table-1 network features, one series per
 // chunk.
 var baseMetrics = []metric{
-	{"RTT minimum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTMin }) }},
-	{"RTT average", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTAvg }) }},
-	{"RTT maximum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RTTMax }) }},
-	{"BDP", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BDP }) }},
-	{"BIF avg", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BIFAvg }) }},
-	{"BIF maximum", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.BIFMax }) }},
-	{"packet loss", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.LossPct }) }},
-	{"packet retransmissions", func(s SessionObs) []float64 { return s.field(func(c ChunkObs) float64 { return c.RetransPct }) }},
-	{"chunk size", func(s SessionObs) []float64 { return s.sizes() }},
+	fieldMetric("RTT minimum", func(c ChunkObs) float64 { return c.RTTMin }),
+	fieldMetric("RTT average", func(c ChunkObs) float64 { return c.RTTAvg }),
+	fieldMetric("RTT maximum", func(c ChunkObs) float64 { return c.RTTMax }),
+	fieldMetric("BDP", func(c ChunkObs) float64 { return c.BDP }),
+	fieldMetric("BIF avg", func(c ChunkObs) float64 { return c.BIFAvg }),
+	fieldMetric("BIF maximum", func(c ChunkObs) float64 { return c.BIFMax }),
+	fieldMetric("packet loss", func(c ChunkObs) float64 { return c.LossPct }),
+	fieldMetric("packet retransmissions", func(c ChunkObs) float64 { return c.RetransPct }),
+	fieldMetric("chunk size", func(c ChunkObs) float64 { return c.SizeKB }),
+}
+
+func fieldMetric(name string, f func(ChunkObs) float64) metric {
+	return metric{
+		name:   name,
+		series: func(s SessionObs) []float64 { return s.field(f) },
+		into:   func(s SessionObs, sc *SeriesScratch) []float64 { return s.fieldInto(sc, f) },
+	}
 }
 
 // chunkTimeMetric completes the stall set's ten metrics.
-var chunkTimeMetric = metric{"chunk time", func(s SessionObs) []float64 { return s.times() }}
+var chunkTimeMetric = fieldMetric("chunk time", func(c ChunkObs) float64 { return c.Time })
 
 // constructedMetrics are the five engineered series of §4.2: the
 // running chunk average size, the chunk size delta, the inter-arrival
 // delta, the per-chunk throughput, and its CUSUM chart.
 var constructedMetrics = []metric{
-	{"chunk avg size", func(s SessionObs) []float64 { return runningMean(s.sizes()) }},
-	{"chunk Δsize", func(s SessionObs) []float64 { return stats.Diff(s.sizes()) }},
-	{"chunk Δt", func(s SessionObs) []float64 { return stats.Diff(s.times()) }},
-	{"throughput", func(s SessionObs) []float64 { return s.throughputs() }},
-	{"cusum throughput", func(s SessionObs) []float64 { return timeseries.Chart(s.throughputs()) }},
+	{"chunk avg size",
+		func(s SessionObs) []float64 { return runningMean(s.sizes()) },
+		func(s SessionObs, sc *SeriesScratch) []float64 { return s.runningMeanSizesInto(sc) }},
+	{"chunk Δsize",
+		func(s SessionObs) []float64 { return stats.Diff(s.sizes()) },
+		func(s SessionObs, sc *SeriesScratch) []float64 {
+			return s.diffInto(sc, func(c ChunkObs) float64 { return c.SizeKB })
+		}},
+	{"chunk Δt",
+		func(s SessionObs) []float64 { return stats.Diff(s.times()) },
+		func(s SessionObs, sc *SeriesScratch) []float64 {
+			return s.diffInto(sc, func(c ChunkObs) float64 { return c.Time })
+		}},
+	{"throughput",
+		func(s SessionObs) []float64 { return s.throughputs() },
+		func(s SessionObs, sc *SeriesScratch) []float64 {
+			return s.fieldInto(sc, ChunkObs.ThroughputKBps)
+		}},
+	{"cusum throughput",
+		func(s SessionObs) []float64 { return timeseries.Chart(s.throughputs()) },
+		func(s SessionObs, sc *SeriesScratch) []float64 {
+			tp := s.fieldInto(sc, ChunkObs.ThroughputKBps)
+			chart := timeseries.ChartInto(tp, sc.b)
+			if chart != nil {
+				sc.b = chart // keep the grown buffer across empty sessions
+			}
+			return chart
+		}},
 }
 
 // A stat is one named summary statistic of a series.
@@ -172,10 +258,19 @@ func newSparse(ms []metric, ss []stat, cols []int) *Sparse {
 // have the length of the cols the evaluator was built with. Values are
 // bit-identical to building the dense vector and projecting it.
 func (sp *Sparse) EvalInto(obs SessionObs, dst []float64) {
+	var sc SeriesScratch
+	sp.EvalIntoScratch(obs, dst, &sc)
+}
+
+// EvalIntoScratch is EvalInto with caller-owned series buffers: each
+// metric's series is written through sc instead of freshly allocated,
+// so a long-lived caller (an engine shard) featurizes with zero
+// steady-state allocations. The summary still sorts the series in
+// place — the scratch is refilled per metric — and every value is
+// bit-identical to EvalInto's.
+func (sp *Sparse) EvalIntoScratch(obs SessionObs, dst []float64, sc *SeriesScratch) {
 	for _, g := range sp.groups {
-		// series closures return fresh slices, so the summary may sort
-		// in place instead of copying
-		sum := stats.SummarizeInPlace(sp.ms[g.metric].series(obs))
+		sum := stats.SummarizeInPlace(sp.ms[g.metric].into(obs, sc))
 		for _, e := range g.emits {
 			if sum.N == 0 {
 				dst[e.dst] = 0

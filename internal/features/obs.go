@@ -68,16 +68,44 @@ func FromEntries(entries []weblog.Entry) SessionObs {
 			RetransPct:  e.RetransPct,
 		})
 	}
-	sort.Slice(obs.Chunks, func(i, j int) bool {
-		return obs.Chunks[i].Time < obs.Chunks[j].Time
+	finishChunks(obs.Chunks)
+	return obs
+}
+
+// FromChunks assembles a SessionObs from already-extracted chunk
+// observations in arrival order — the columnar flow table's hand-off,
+// where chunk extraction happened entry by entry at ingest. The chunks
+// are copied into buf (grown only when its capacity is exhausted) so
+// the caller's slice stays untouched in arrival order, then sorted and
+// rebased exactly like FromEntries: pushing the entries those chunks
+// came from through FromEntries yields a bit-identical observation.
+// The returned observation aliases buf.
+func FromChunks(chunks []ChunkObs, buf []ChunkObs) SessionObs {
+	if cap(buf) < len(chunks) {
+		buf = make([]ChunkObs, len(chunks))
+	} else {
+		buf = buf[:len(chunks)]
+	}
+	copy(buf, chunks)
+	finishChunks(buf)
+	return SessionObs{Chunks: buf}
+}
+
+// finishChunks is the shared tail of observation assembly: arrival
+// order becomes chunk-time order, and times are rebased to the first
+// chunk ("chunk time", §3.1). Both construction paths run the same
+// sort.Slice over the same comparator, so equal inputs produce equal
+// permutations even among tied timestamps.
+func finishChunks(chunks []ChunkObs) {
+	sort.Slice(chunks, func(i, j int) bool {
+		return chunks[i].Time < chunks[j].Time
 	})
-	if len(obs.Chunks) > 0 {
-		base := obs.Chunks[0].Time
-		for i := range obs.Chunks {
-			obs.Chunks[i].Time -= base
+	if len(chunks) > 0 {
+		base := chunks[0].Time
+		for i := range chunks {
+			chunks[i].Time -= base
 		}
 	}
-	return obs
 }
 
 // Len returns the number of chunks.

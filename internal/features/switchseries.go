@@ -34,3 +34,32 @@ func SwitchSeries(obs SessionObs, skipSec float64) []float64 {
 	}
 	return out
 }
+
+// SwitchSeriesInto is SwitchSeries appending into buf (reused across
+// calls; grown only when capacity is exhausted) without materializing
+// the kept-chunk slice: the products stream off consecutive surviving
+// chunks with identical operand order, so the values are bit-identical
+// to SwitchSeries's. Sessions with fewer than three surviving chunks
+// return buf truncated to length zero — the same zero change score as
+// SwitchSeries's nil, with the buffer's capacity preserved.
+func SwitchSeriesInto(obs SessionObs, skipSec float64, buf []float64) []float64 {
+	out := buf[:0]
+	kept := 0
+	var prev ChunkObs
+	for _, c := range obs.Chunks {
+		if c.Time < skipSec {
+			continue
+		}
+		if kept > 0 {
+			dsize := c.SizeKB - prev.SizeKB
+			dt := c.Time - prev.Time
+			out = append(out, dsize*dt)
+		}
+		kept++
+		prev = c
+	}
+	if kept < 3 {
+		return out[:0]
+	}
+	return out
+}

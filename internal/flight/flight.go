@@ -192,6 +192,16 @@ type Assessment struct {
 	// of it into pointer-free records in one pass and drops the slice —
 	// the recorder never references it afterwards.
 	Entries []weblog.Entry
+	// Chunks and RawEntries are the columnar alternative to Entries,
+	// used when Entries is nil: the session's media chunk observations
+	// in arrival order plus the total service-entry count the flow
+	// closed with. Compaction consumes them synchronously inside Retain
+	// and never references the slice afterwards, so callers may recycle
+	// it the moment Retain returns. The compacted records are
+	// bit-identical to the Entries path's (chunk end time, duration and
+	// size carry over unchanged).
+	Chunks     []features.ChunkObs
+	RawEntries int
 	// Cohort is the session's rendered region/device/cap label (""
 	// when the traffic carried no cohort metadata).
 	Cohort string

@@ -449,3 +449,60 @@ func TestFlightSessionIDRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// chunksOf extracts the columnar form of a session's entries — the
+// same media-chunk observations the engine's ColTracker buffers, with
+// the chunk end time (Timestamp + TransactionSec) in the Time column.
+func chunksOf(entries []weblog.Entry) []features.ChunkObs {
+	var out []features.ChunkObs
+	for _, e := range entries {
+		if !weblog.IsVideoHost(e.Host) {
+			continue
+		}
+		out = append(out, features.ChunkObs{
+			Time:        e.Timestamp + e.TransactionSec,
+			SizeKB:      float64(e.Bytes) / 1000,
+			DurationSec: e.TransactionSec,
+		})
+	}
+	return out
+}
+
+// TestColumnarAssessmentMatchesEntries proves the columnar Retain
+// hand-off is bit-identical to the legacy entry walk: the same session
+// offered once as buffered entries and once as chunk columns must
+// compact to identical timelines — same chunk records, totals,
+// truncation, and memory accounting — including past the maxEvents
+// truncation horizon.
+func TestColumnarAssessmentMatchesEntries(t *testing.T) {
+	for _, n := range []int{3, 64, 700} { // below, at, and past maxEvents
+		entries := videoEntries("sub-a", 100, n, 2.0)
+		rep := goodReport(n)
+
+		byEntries := newSession(assessment("sub-a", 100, rep, entries), 4.2, 0, 1, 512)
+		a := assessment("sub-a", 100, rep, nil)
+		a.Chunks = chunksOf(entries)
+		a.RawEntries = len(entries)
+		byChunks := newSession(a, 4.2, 0, 1, 512)
+
+		if byEntries.rawEntries != byChunks.rawEntries {
+			t.Fatalf("n=%d: rawEntries %d vs %d", n, byEntries.rawEntries, byChunks.rawEntries)
+		}
+		if byEntries.chunkCount != byChunks.chunkCount ||
+			byEntries.totalKB != byChunks.totalKB ||
+			byEntries.totalSec != byChunks.totalSec ||
+			byEntries.truncated != byChunks.truncated ||
+			byEntries.bytes != byChunks.bytes {
+			t.Fatalf("n=%d: compaction state diverged: %+v vs %+v", n, byEntries, byChunks)
+		}
+		if len(byEntries.chunks) != len(byChunks.chunks) {
+			t.Fatalf("n=%d: kept %d chunk records vs %d", n, len(byEntries.chunks), len(byChunks.chunks))
+		}
+		for i := range byEntries.chunks {
+			if byEntries.chunks[i] != byChunks.chunks[i] {
+				t.Fatalf("n=%d: chunk record %d diverged: %+v vs %+v",
+					n, i, byEntries.chunks[i], byChunks.chunks[i])
+			}
+		}
+	}
+}

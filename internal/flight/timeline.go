@@ -206,6 +206,21 @@ func newSession(a Assessment, score float64, reasons Reason, shard, maxEvents in
 	if keep > 0 {
 		sess.chunks = make([]chunkRec, 0, keep)
 	}
+	if a.Entries == nil {
+		// columnar hand-off: the chunks arrive pre-extracted in arrival
+		// order, so compaction is a straight fold — same values, same
+		// order, same truncation as the entry walk below.
+		sess.rawEntries = a.RawEntries
+		for i := range a.Chunks {
+			c := &a.Chunks[i]
+			sess.chunkCount++
+			sess.totalKB += c.SizeKB
+			sess.totalSec += c.DurationSec
+			if len(sess.chunks) < maxEvents {
+				sess.chunks = append(sess.chunks, chunkRec{ts: c.Time, dur: c.DurationSec, kb: c.SizeKB})
+			}
+		}
+	}
 	for i := range a.Entries {
 		e := &a.Entries[i]
 		if !weblog.IsVideoHost(e.Host) {

@@ -1,0 +1,217 @@
+package sessionizer
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vqoe/internal/cohort"
+	"vqoe/internal/features"
+	"vqoe/internal/weblog"
+	"vqoe/internal/workload"
+)
+
+// testInterner mirrors the engine front door's identity interning so
+// the property test can drive a ColTracker exactly the way the engine
+// does: subscriber strings and cohort keys become dense uint32 IDs
+// (from 1; 0 = absent) and every entry is pre-digested into a Rec.
+type testInterner struct {
+	subs  map[string]uint32
+	names []string
+	cohs  map[cohort.Key]uint32
+	keys  []cohort.Key
+}
+
+func newTestInterner() *testInterner {
+	return &testInterner{
+		subs:  make(map[string]uint32),
+		names: []string{""},
+		cohs:  make(map[cohort.Key]uint32),
+		keys:  []cohort.Key{{}},
+	}
+}
+
+func (n *testInterner) name(id uint32) string { return n.names[id] }
+
+func (n *testInterner) key(id uint32) cohort.Key { return n.keys[id] }
+
+func (n *testInterner) rec(e weblog.Entry) Rec {
+	id, ok := n.subs[e.Subscriber]
+	if !ok {
+		id = uint32(len(n.names))
+		n.subs[e.Subscriber] = id
+		n.names = append(n.names, e.Subscriber)
+	}
+	r := Rec{
+		Sub:     id,
+		Kind:    weblog.ClassifyHost(e.Host),
+		Ts:      e.Timestamp,
+		Dur:     e.TransactionSec,
+		KB:      float64(e.Bytes) / 1000,
+		RTTMin:  e.RTTMin,
+		RTTAvg:  e.RTTAvg,
+		RTTMax:  e.RTTMax,
+		BDP:     e.BDP,
+		BIFAvg:  e.BIFAvg,
+		BIFMax:  e.BIFMax,
+		Loss:    e.LossPct,
+		Retrans: e.RetransPct,
+	}
+	if e.Region != "" || e.Device != "" || e.Cap != "" {
+		k := cohort.Key{Region: e.Region, Device: e.Device, Cap: e.Cap}
+		ck, ok := n.cohs[k]
+		if !ok {
+			ck = uint32(len(n.keys))
+			n.cohs[k] = ck
+			n.keys = append(n.keys, k)
+		}
+		r.Cohort = ck
+	}
+	return r
+}
+
+// TestColTrackerMatchesTrackerLive is the fast path's bit-identity
+// property test: a seeded concurrent live workload pushed entry by
+// entry through the legacy string-keyed Tracker and through the
+// interned-ID columnar ColTracker — with interleaved Advance sweeps
+// and open-table snapshots — must produce the same closed sessions in
+// the same order, with identical boundaries, entry/chunk counts,
+// cohort attribution, and bit-identical feature observations
+// (FromEntries over buffered entries vs FromChunks over columns).
+func TestColTrackerMatchesTrackerLive(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			live := workload.GenerateLive(workload.LiveConfig{
+				Subscribers:           16,
+				SessionsPerSubscriber: 2,
+				Seed:                  seed,
+			})
+			cfg := DefaultConfig()
+			leg := NewTracker(cfg)
+			in := newTestInterner()
+			col := NewColTracker(cfg)
+			col.Resolve = in.name
+
+			var legOpens, colOpens []string
+			leg.OnOpen = func(sub string, start float64) {
+				legOpens = append(legOpens, fmt.Sprintf("%s@%.6f", sub, start))
+			}
+			col.OnOpen = func(sub uint32, start float64) {
+				colOpens = append(colOpens, fmt.Sprintf("%s@%.6f", in.name(sub), start))
+			}
+
+			var legC []Closed
+			colC := make([]ColClosed, 0)
+			for i := range live.Entries {
+				e := live.Entries[i]
+				if c, ok := leg.Push(e); ok {
+					legC = append(legC, c)
+				}
+				r := in.rec(e)
+				if c, ok := col.Push(&r); ok {
+					colC = append(colC, c)
+				}
+				if i%257 == 128 {
+					now := e.Timestamp
+					legC = append(legC, leg.Advance(now)...)
+					colC = col.AdvanceInto(now, colC)
+					if leg.Open() != col.Open() {
+						t.Fatalf("open count diverged at entry %d: legacy %d columnar %d",
+							i, leg.Open(), col.Open())
+					}
+					ls, cs := leg.OpenSnapshot(), col.OpenSnapshot()
+					if !reflect.DeepEqual(ls, cs) {
+						t.Fatalf("open snapshots diverged at entry %d:\nlegacy   %+v\ncolumnar %+v",
+							i, ls, cs)
+					}
+				}
+			}
+			legC = append(legC, leg.Flush()...)
+			colC = col.FlushInto(colC)
+
+			if !reflect.DeepEqual(legOpens, colOpens) {
+				t.Fatalf("OnOpen streams diverged: legacy %d columnar %d",
+					len(legOpens), len(colOpens))
+			}
+			if len(legC) != len(colC) {
+				t.Fatalf("closed %d legacy sessions, %d columnar", len(legC), len(colC))
+			}
+			for i := range legC {
+				l, c := legC[i], colC[i]
+				if in.name(c.Sub) != l.Subscriber {
+					t.Fatalf("session %d: subscriber %q vs %q", i, in.name(c.Sub), l.Subscriber)
+				}
+				if c.Start != l.Start || c.End != l.End {
+					t.Fatalf("session %d (%s): bounds [%v,%v] vs [%v,%v]",
+						i, l.Subscriber, c.Start, c.End, l.Start, l.End)
+				}
+				if c.Entries != len(l.Entries) {
+					t.Fatalf("session %d (%s): %d entries vs %d",
+						i, l.Subscriber, c.Entries, len(l.Entries))
+				}
+				if len(c.Chunks) != l.Chunks {
+					t.Fatalf("session %d (%s): %d chunks vs %d",
+						i, l.Subscriber, len(c.Chunks), l.Chunks)
+				}
+				if got, want := in.key(c.Cohort), cohort.FromSession(l.Entries); got != want {
+					t.Fatalf("session %d (%s): cohort %v vs %v", i, l.Subscriber, got, want)
+				}
+				lo := features.FromEntries(l.Entries)
+				co := features.FromChunks(c.Chunks, nil)
+				if !reflect.DeepEqual(lo, co) {
+					t.Fatalf("session %d (%s): feature observations diverged:\nlegacy   %+v\ncolumnar %+v",
+						i, l.Subscriber, lo, co)
+				}
+				if !reflect.DeepEqual(features.RepFeatures(lo), features.RepFeatures(co)) ||
+					!reflect.DeepEqual(features.StallFeatures(lo), features.StallFeatures(co)) {
+					t.Fatalf("session %d (%s): feature vectors diverged", i, l.Subscriber)
+				}
+			}
+		})
+	}
+}
+
+// TestColTrackerRecycledBuffersStayIdentical re-runs the same trace
+// through one long-lived ColTracker twice, recycling every closed
+// session's chunk buffer the way the engine shard does, and checks the
+// second pass emits bit-identical sessions — proving buffer reuse
+// never leaks observations across sessions.
+func TestColTrackerRecycledBuffersStayIdentical(t *testing.T) {
+	live := workload.GenerateLive(workload.LiveConfig{
+		Subscribers:           8,
+		SessionsPerSubscriber: 2,
+		Seed:                  99,
+	})
+	in := newTestInterner()
+	col := NewColTracker(DefaultConfig())
+	col.Resolve = in.name
+
+	run := func() []ColClosed {
+		var out []ColClosed
+		for i := range live.Entries {
+			r := in.rec(live.Entries[i])
+			if c, ok := col.Push(&r); ok {
+				out = append(out, c)
+			}
+		}
+		return col.FlushInto(out)
+	}
+	freeze := func(cs []ColClosed) []ColClosed {
+		// deep-copy chunks before recycling the live buffers
+		out := make([]ColClosed, len(cs))
+		for i, c := range cs {
+			out[i] = c
+			out[i].Chunks = append([]features.ChunkObs(nil), c.Chunks...)
+		}
+		for _, c := range cs {
+			col.Recycle(c.Chunks)
+		}
+		return out
+	}
+
+	first := freeze(run())
+	second := freeze(run())
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("recycled second pass diverged: %d vs %d sessions", len(first), len(second))
+	}
+}

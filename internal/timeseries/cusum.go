@@ -64,13 +64,26 @@ func (c *CUSUM) Low() float64  { return c.lo }
 // configuration used by the switch detector, which needs no tuning per
 // session.
 func Chart(series []float64) []float64 {
+	return ChartInto(series, nil)
+}
+
+// ChartInto is Chart writing into out, which is grown only when its
+// capacity is exhausted — the allocation-free form the engine's
+// per-shard scratch threads through repeated switch scoring. Values are
+// bit-identical to Chart's. An empty series returns nil without
+// touching out.
+func ChartInto(series, out []float64) []float64 {
 	if len(series) == 0 {
 		return nil
 	}
 	mean := stats.Mean(series)
 	std := stats.Std(series)
 	c := NewCUSUM(mean, std/2)
-	out := make([]float64, len(series))
+	if cap(out) < len(series) {
+		out = make([]float64, len(series))
+	} else {
+		out = out[:len(series)]
+	}
 	for i, x := range series {
 		out[i] = c.Update(x)
 	}

@@ -191,3 +191,34 @@ func finite(raw []float64) []float64 {
 	}
 	return xs
 }
+
+// TestChartIntoReuseMatchesChart runs a reused output buffer through a
+// sequence of series of varying lengths — including empty ones — and
+// checks each chart is bit-identical to the allocating Chart, with the
+// buffer's capacity surviving the empty series in between.
+func TestChartIntoReuseMatchesChart(t *testing.T) {
+	seqs := [][]float64{
+		{100, 200, 150, 400, 80},
+		nil,
+		{5},
+		{3000, 2900, 3100, 2800, 3050, 2950, 500, 450, 520},
+		{},
+		{1, 2},
+	}
+	var buf []float64
+	for si, series := range seqs {
+		got := ChartInto(series, buf)
+		if got != nil {
+			buf = got
+		}
+		want := Chart(series)
+		if len(got) != len(want) {
+			t.Fatalf("series %d: into produced %d values, Chart %d", si, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("series %d value %d: %v != %v", si, i, got[i], want[i])
+			}
+		}
+	}
+}

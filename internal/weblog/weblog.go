@@ -94,6 +94,43 @@ func (e Entry) IsServiceHost() bool {
 	return e.IsVideoHost()
 }
 
+// HostClass partitions server names by their role in the delivery
+// machinery. Hot paths classify a host once at ingest and branch on the
+// class afterwards, instead of re-running the string comparisons per
+// decision.
+type HostClass uint8
+
+const (
+	// HostOther is any host outside the video service; the §5.2 domain
+	// filter discards these.
+	HostOther HostClass = iota
+	// HostSignal is service signalling without boundary meaning:
+	// thumbnails (i.ytimg.com) and playback stats (s.youtube.com).
+	HostSignal
+	// HostWatchPage is the watch-page load (m.youtube.com) — a §5.2
+	// session boundary.
+	HostWatchPage
+	// HostMedia is a chunk-serving CDN edge (googlevideo.com).
+	HostMedia
+)
+
+// ClassifyHost maps a server name to its HostClass. The partition is
+// exactly IsServiceHost/IsVideoHost/HostPage restated: class != HostOther
+// iff IsServiceHost, class == HostMedia iff IsVideoHost, and class ==
+// HostWatchPage iff host == HostPage.
+func ClassifyHost(host string) HostClass {
+	switch host {
+	case HostPage:
+		return HostWatchPage
+	case HostImage, HostStats:
+		return HostSignal
+	}
+	if IsVideoHost(host) {
+		return HostMedia
+	}
+	return HostOther
+}
+
 // videoHost derives the CDN edge host for a video, stable per content.
 func videoHost(videoID string) string {
 	h := fnv.New32a()

@@ -1,0 +1,93 @@
+// benchdiff compares two bench.sh JSON artifacts and prints a
+// regression report: every benchmark present in both files whose
+// ns/op got more than a threshold slower (default 10%), plus the
+// headline throughput deltas. It is informational — the exit code is
+// always 0 — because shared and burstable runners make wall-clock
+// numbers too noisy to gate a build on (see EXPERIMENTS.md, "bench
+// noise on burstable hosts").
+//
+// Usage: go run ./scripts/benchdiff [-threshold 10] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type row map[string]float64
+
+func load(path string) (map[string]row, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]row
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold, percent slower on ns/op")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldB, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newB, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		if _, ok := oldB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff %s -> %s (threshold %.0f%% on ns/op; informational, never fails)\n\n",
+		flag.Arg(0), flag.Arg(1), *threshold)
+	var regressed int
+	for _, name := range names {
+		o, n := oldB[name]["ns_op"], newB[name]["ns_op"]
+		if o <= 0 || n <= 0 {
+			continue
+		}
+		pct := (n - o) / o * 100
+		mark := " "
+		if pct > *threshold {
+			mark = "!"
+			regressed++
+		} else if pct < -*threshold {
+			mark = "+"
+		}
+		fmt.Printf("%s %-60s ns/op %14.0f -> %14.0f  (%+6.1f%%)\n", mark, name, o, n, pct)
+		// headline custom metrics ride along for context
+		for _, m := range []string{"entries/s", "instances/s", "acc%", "overhead%"} {
+			ov, ook := oldB[name][m]
+			nv, nok := newB[name][m]
+			if ook && nok && ov != 0 {
+				fmt.Printf("  %-60s %s %12.1f -> %12.1f  (%+6.1f%%)\n",
+					"", m, ov, nv, (nv-ov)/ov*100)
+			}
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d benchmark(s) more than %.0f%% slower (marked !) — investigate before trusting; not failing the build.\n",
+			regressed, *threshold)
+	} else {
+		fmt.Printf("\nno benchmark more than %.0f%% slower.\n", *threshold)
+	}
+}
