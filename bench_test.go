@@ -32,6 +32,7 @@ import (
 	"vqoe/internal/pipeline"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
+	"vqoe/internal/slo"
 	"vqoe/internal/stats"
 	"vqoe/internal/weblog"
 	"vqoe/internal/wire"
@@ -624,6 +625,73 @@ func BenchmarkFlightOverhead(b *testing.B) {
 		} else {
 			ons = append(ons, run(flight.New(flight.Config{Shards: shards})))
 			offs = append(offs, run(nil))
+		}
+	}
+	b.StopTimer()
+	deltas := make([]float64, len(offs))
+	for i := range offs {
+		deltas[i] = 100 * (ons[i] - offs[i]).Seconds() / offs[i].Seconds()
+	}
+	entries := float64(repeats * len(live.Entries))
+	b.ReportMetric(entries/medianDuration(offs).Seconds(), "off_entries/s")
+	b.ReportMetric(entries/medianDuration(ons).Seconds(), "on_entries/s")
+	b.ReportMetric(medianFloat(deltas), "overhead%")
+}
+
+// BenchmarkSLOOverhead measures what the SLO subsystem costs on the
+// engine's hot path. The sampler never runs per entry — it snapshots
+// the engine's per-shard counters, evaluates the alert rules, and
+// appends to the history rings once per cadence tick from its own
+// goroutine — so the only hot-path cost is the snapshot's brief
+// per-shard reads contending with the ingest workers. To make that
+// contention measurable inside a ~100ms timed feed, the on arm runs
+// the sampler at 10ms cadence, one hundred times the production rate;
+// the production 1 Hz figure is this reading scaled down by ~100x.
+// Paired design as BenchmarkFlightOverhead: both arms back-to-back
+// per iteration with alternating order, a forced collection before
+// each timed pass, the collector disabled inside the timed windows,
+// and medians (of throughput and of the per-pair relative deltas) as
+// the summary statistics. The acceptance bar is overhead% <= 2,
+// recorded in BENCH_PR10.json and EXPERIMENTS.md. Run with
+// -benchtime >= 10x for a stable median.
+func BenchmarkSLOOverhead(b *testing.B) {
+	const subs, shards = 128, 4
+	fw, live := liveFixture(b, subs)
+	cfg := engine.DefaultConfig()
+	cfg.Shards = shards
+	cfg.Mailbox = 1024
+	const repeats = 6
+	run := func(withSLO bool) time.Duration {
+		var total time.Duration
+		for r := 0; r < repeats; r++ {
+			eng := engine.New(fw, cfg, func(engine.Report) {})
+			var se *slo.Engine
+			if withSLO {
+				se = pipeline.NewSLO(slo.Config{CadenceSec: 0.01}, pipeline.SLOParts{Engine: eng})
+				se.Start()
+			}
+			runtime.GC()
+			t0 := time.Now()
+			live.Feed(shards, 256, eng.Feed)
+			eng.Drain()
+			total += time.Since(t0)
+			if se != nil {
+				se.Close()
+			}
+		}
+		return total
+	}
+	offs := make([]time.Duration, 0, b.N)
+	ons := make([]time.Duration, 0, b.N)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			offs = append(offs, run(false))
+			ons = append(ons, run(true))
+		} else {
+			ons = append(ons, run(true))
+			offs = append(offs, run(false))
 		}
 	}
 	b.StopTimer()

@@ -10,7 +10,11 @@
 //	  along: sessions kept by a retention policy (stalled, worst MOS
 //	  decile, low confidence, uniform sample) close the run with a
 //	  "worst sessions" report; -flight-sample tunes the uniform
-//	  sample, -no-flight disables recording.
+//	  sample, -no-flight disables recording. The SLO rules run too,
+//	  in capture time: the engine ticks once per -slo-cadence seconds
+//	  of capture, so a silent gap in the trace raises ingest-stale
+//	  exactly as it would have live; -alert-log appends the
+//	  transitions (timestamps are capture seconds) as JSON lines.
 //
 //	qoepcap -replay capture.pcap -wire 127.0.0.1:9090   stream the
 //	  capture through the incremental flow meter and push the
@@ -33,9 +37,11 @@ import (
 
 	"vqoe/internal/core"
 	"vqoe/internal/flight"
+	"vqoe/internal/obs"
 	"vqoe/internal/packet"
 	"vqoe/internal/pcapio"
 	"vqoe/internal/pipeline"
+	"vqoe/internal/slo"
 	"vqoe/internal/stats"
 	"vqoe/internal/weblog"
 	"vqoe/internal/wire"
@@ -44,16 +50,18 @@ import (
 
 func main() {
 	var (
-		export   = flag.String("export", "", "write a synthetic capture to this pcap file")
-		analyze  = flag.String("analyze", "", "analyze this pcap file")
-		replay   = flag.String("replay", "", "stream this pcap's metered entries to a wire listener")
-		wireAddr = flag.String("wire", "127.0.0.1:9090", "wire listener address for -replay (host:port or unix:/path)")
-		hosts    = flag.String("hosts", "", "ip→host map file for -analyze/-replay")
-		sessions = flag.Int("sessions", 20, "sessions to synthesize for -export")
-		seed     = flag.Int64("seed", 1, "seed")
-		trainN   = flag.Int("train-n", 800, "training corpus size for -analyze")
-		flightN  = flag.Int("flight-sample", 0, "flight recorder uniform sample for -analyze: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
-		noFlight = flag.Bool("no-flight", false, "disable the session flight recorder for -analyze")
+		export     = flag.String("export", "", "write a synthetic capture to this pcap file")
+		analyze    = flag.String("analyze", "", "analyze this pcap file")
+		replay     = flag.String("replay", "", "stream this pcap's metered entries to a wire listener")
+		wireAddr   = flag.String("wire", "127.0.0.1:9090", "wire listener address for -replay (host:port or unix:/path)")
+		hosts      = flag.String("hosts", "", "ip→host map file for -analyze/-replay")
+		sessions   = flag.Int("sessions", 20, "sessions to synthesize for -export")
+		seed       = flag.Int64("seed", 1, "seed")
+		trainN     = flag.Int("train-n", 800, "training corpus size for -analyze")
+		flightN    = flag.Int("flight-sample", 0, "flight recorder uniform sample for -analyze: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
+		noFlight   = flag.Bool("no-flight", false, "disable the session flight recorder for -analyze")
+		alertLog   = flag.String("alert-log", "", "append SLO alert transitions (capture-time) from -analyze as JSON lines to this file")
+		sloCadence = flag.Float64("slo-cadence", 0, "capture-time seconds per SLO tick for -analyze (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -64,7 +72,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *analyze != "":
-		if err := doAnalyze(*analyze, *hosts, *trainN, *seed, *flightN, *noFlight); err != nil {
+		if err := doAnalyze(*analyze, *hosts, *trainN, *seed, *flightN, *noFlight, *alertLog, *sloCadence); err != nil {
 			fmt.Fprintln(os.Stderr, "qoepcap:", err)
 			os.Exit(1)
 		}
@@ -147,7 +155,7 @@ func openCapture(path, hostsPath string) (*os.File, *pcapio.Reader, error) {
 	return f, r, nil
 }
 
-func doAnalyze(path, hostsPath string, trainN int, seed int64, flightN int, noFlight bool) error {
+func doAnalyze(path, hostsPath string, trainN int, seed int64, flightN int, noFlight bool, alertLog string, sloCadence float64) error {
 	f, r, err := openCapture(path, hostsPath)
 	if err != nil {
 		return err
@@ -184,6 +192,34 @@ func doAnalyze(path, hostsPath string, trainN int, seed int64, flightN int, noFl
 	if rec != nil {
 		an.SetFlight(rec)
 	}
+	stages := obs.NewStageSet()
+	an.SetStages(stages)
+
+	// offline SLO pass: a manually-ticked engine whose clock is the
+	// capture's own timestamps, so staleness and latency rules judge
+	// the trace exactly as they would have judged the live stream
+	if sloCadence <= 0 {
+		sloCadence = 1
+	}
+	capNow := 0.0
+	var pushed int64
+	scfg := slo.Config{Manual: true, CadenceSec: sloCadence, Now: func() float64 { return capNow }}
+	if alertLog != "" {
+		lf, err := os.OpenFile(alertLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		scfg.AlertLog = lf
+	}
+	sloEng := pipeline.NewSLO(scfg, pipeline.SLOParts{
+		Entries: func() int64 { return pushed },
+		Stages: func() []obs.StageSetSnapshot {
+			return []obs.StageSetSnapshot{stages.Snapshot()}
+		},
+		Flight: rec,
+	})
+
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Timestamp < entries[j].Timestamp })
 	n := 0
 	emit := func(reports []pipeline.SessionReport) {
@@ -192,11 +228,41 @@ func doAnalyze(path, hostsPath string, trainN int, seed int64, flightN int, noFl
 			fmt.Printf("session %2d  t=%8.1fs  %s\n", n, rep.Start, rep.Report)
 		}
 	}
+	if len(entries) > 0 {
+		capNow = entries[0].Timestamp
+	}
+	nextTick := capNow + sloCadence
 	for _, e := range entries {
+		for e.Timestamp >= nextTick {
+			capNow = nextTick
+			sloEng.Tick(capNow)
+			nextTick += sloCadence
+		}
+		if e.Timestamp > capNow {
+			capNow = e.Timestamp
+		}
+		pushed++
 		emit(an.Push(e))
 	}
 	emit(an.Flush())
+	sloEng.Tick(capNow)
 	fmt.Printf("\n%d sessions assessed\n", n)
+
+	alerts := sloEng.Alerts()
+	if alerts.Firing > 0 || alerts.Pending > 0 || len(alerts.RecentResolved) > 0 {
+		fmt.Printf("\nslo alerts over the capture (%d firing, %d pending at end):\n",
+			alerts.Firing, alerts.Pending)
+		for _, a := range alerts.Alerts {
+			if a.StateCode == int(slo.Inactive) {
+				continue
+			}
+			fmt.Printf("  %-20s %-8s %s\n", a.Rule, a.State, a.Detail)
+		}
+		for _, ep := range alerts.RecentResolved {
+			fmt.Printf("  resolved %-11s t=%.0fs..%.0fs  %s\n",
+				ep.Rule, ep.StartedAt, ep.ResolvedAt, ep.Detail)
+		}
+	}
 
 	if rec != nil {
 		if snap := rec.Snapshot(); len(snap.Retained) > 0 {

@@ -2,7 +2,9 @@
 // operator integration:
 //
 //	POST /analyze        one session's weblog entries (JSONL) → assessment
-//	POST /ingest         streaming entries → reports for completed sessions
+//	POST /ingest         streaming entries → reports for completed
+//	                     sessions; ?mode=shed delivers best-effort
+//	                     (full mailboxes shed instead of blocking)
 //	GET  /metrics        Prometheus exposition: QoE aggregates, per-shard
 //	                     engine gauges, stage-latency histograms, runtime
 //	GET  /healthz        liveness
@@ -25,6 +27,13 @@
 //	                     with no other policy change disables only the
 //	                     uniform sample, -no-flight turns the recorder
 //	                     off entirely.
+//	GET  /debug/timeseries sparkline-ready metric history: the SLO
+//	                     sampler's per-series rings (rate-converted
+//	                     counters, gauges, histogram quantiles); ?n=
+//	                     caps the points returned (default 240)
+//	GET  /debug/alerts   SLO alert table: firing/pending alerts
+//	                     worst-first plus recently resolved ones, with
+//	                     burn values and detail lines
 //	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
 // Models are loaded from files written by qoetrain, or trained on a
@@ -50,6 +59,12 @@
 // into the engine at startup (-pcap-hosts restores server names).
 // Shutdown closes wire connections (with a drain grace) before the
 // engine drain, so acked frames are always reflected in the flush.
+//
+// The SLO subsystem is always on: a background sampler (-slo-cadence
+// seconds per tick) snapshots the in-process counters into metric
+// history rings and runs the built-in alert rules over them.
+// -alert-log appends one JSON line per alert state transition to a
+// file; the drain log ends with an alert summary either way.
 package main
 
 import (
@@ -72,6 +87,7 @@ import (
 	"vqoe/internal/pcapio"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/slo"
 	"vqoe/internal/wire"
 	"vqoe/internal/workload"
 )
@@ -99,6 +115,8 @@ func main() {
 		wireUnix    = flag.String("wire-unix", "", "binary ingest listener unix socket path")
 		pcapPath    = flag.String("pcap", "", "replay this capture through the flow meter into the engine at startup")
 		pcapHosts   = flag.String("pcap-hosts", "", "ip→host map for -pcap (default <pcap>.hosts)")
+		alertLog    = flag.String("alert-log", "", "append one JSON line per alert state transition to this file")
+		sloCadence  = flag.Float64("slo-cadence", 0, "SLO sampler period in seconds (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -122,6 +140,19 @@ func main() {
 	if *mailbox > 0 {
 		ecfg.Mailbox = *mailbox
 	}
+	var alertLogFile *os.File
+	if *alertLog != "" {
+		alertLogFile, err = os.OpenFile(*alertLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Error("alert log open failed", "path", *alertLog, "err", err)
+			os.Exit(1)
+		}
+		defer alertLogFile.Close()
+	}
+	scfg := slo.Config{CadenceSec: *sloCadence}
+	if alertLogFile != nil {
+		scfg.AlertLog = alertLogFile
+	}
 	srv := pipeline.NewServerOpts(fw, pipeline.Options{
 		Engine:    ecfg,
 		Pprof:     *pprofOn,
@@ -134,6 +165,7 @@ func main() {
 			MaxBytes: *flightBytes,
 			Disabled: *noFlight,
 		},
+		SLO: scfg,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -188,6 +220,19 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 		flushed := srv.Drain()
 		log.Info("drained", "flushed_sessions", len(flushed))
+		alerts := srv.SLO().Alerts()
+		log.Info("alerts", "firing", alerts.Firing, "pending", alerts.Pending,
+			"recently_resolved", len(alerts.RecentResolved))
+		for _, a := range alerts.Alerts {
+			if a.State == "firing" || a.State == "pending" {
+				v := 0.0
+				if a.Value != nil {
+					v = *a.Value
+				}
+				log.Warn("active alert", "rule", a.Rule, "state", a.State,
+					"value", v, "detail", a.Detail)
+			}
+		}
 		if fr := srv.Flight(); fr != nil {
 			snap := fr.Snapshot()
 			log.Info("flight recorder",

@@ -30,6 +30,11 @@
 // uniform 1-in-N sample keep their full event timeline, and the run
 // closes with a "worst sessions" report naming them. -flight-sample
 // and -flight-max-bytes tune it; -no-flight turns it off.
+//
+// The SLO alert rules run over the same stream (-slo-cadence seconds
+// per sampler tick) and the run closes with an alert summary — rules
+// that fired or were pending, and episodes that resolved mid-run.
+// -alert-log appends each state transition as a JSON line to a file.
 package main
 
 import (
@@ -50,6 +55,7 @@ import (
 	"vqoe/internal/obs"
 	"vqoe/internal/pipeline"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/slo"
 	"vqoe/internal/weblog"
 	"vqoe/internal/workload"
 )
@@ -68,6 +74,8 @@ func main() {
 		flightN     = flag.Int("flight-sample", 0, "flight recorder uniform sample: retain 1 in N sessions (0 = default 32, negative = outcome-driven policies only)")
 		flightBytes = flag.Int64("flight-max-bytes", 0, "flight recorder byte budget for retained timelines (0 = default 8MiB)")
 		noFlight    = flag.Bool("no-flight", false, "disable the session flight recorder")
+		alertLog    = flag.String("alert-log", "", "append one JSON line per SLO alert state transition to this file")
+		sloCadence  = flag.Float64("slo-cadence", 0, "SLO sampler period in seconds (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -116,6 +124,31 @@ func main() {
 		pipeline.WireFlightQuality(qm, rec)
 		metrics.AttachFlight(rec.Metrics)
 	}
+	// SLO sampler and alert rules over the serial path: same built-in
+	// rule set as qoeserve minus the engine-only rules (no shards, no
+	// mailboxes here), fed from the entry counter and the shared
+	// subsystem snapshots
+	scfg := slo.Config{CadenceSec: *sloCadence}
+	if *alertLog != "" {
+		f, err := os.OpenFile(*alertLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Error("alert log open failed", "path", *alertLog, "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		scfg.AlertLog = f
+	}
+	sloEng := pipeline.NewSLO(scfg, pipeline.SLOParts{
+		Entries: metrics.EntriesTotal,
+		Stages: func() []obs.StageSetSnapshot {
+			return []obs.StageSetSnapshot{stages.Snapshot()}
+		},
+		Quality: qm,
+		Cohorts: rollup,
+		Flight:  rec,
+	})
+	metrics.AttachAlerts(sloEng.StateRows)
+	sloEng.Start()
 	if *metricsAt != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
@@ -172,6 +205,10 @@ func main() {
 		metrics.ObserveReport(rep)
 		emitted += printReport(out, rep, *quietOK)
 	}
+	// one final tick picks up the flush before the summary reads the
+	// alert table; Close stops the background sampler first
+	sloEng.Close()
+	sloEng.Tick(sloEng.Now())
 	sn := qm.Snapshot()
 	fmt.Fprintf(out, "-- %d entries, %d session reports\n", lines, emitted)
 	if labels > 0 {
@@ -183,6 +220,7 @@ func main() {
 	printModelHealth(out, sn)
 	printWorstCohorts(out, rollup.Snapshot())
 	printWorstSessions(out, rec)
+	printAlertSummary(out, sloEng.Alerts())
 	log.Debug("stream finished", "entries", lines, "reports", emitted, "labels", labels)
 }
 
@@ -246,6 +284,38 @@ func printWorstSessions(w io.Writer, rec *flight.Recorder) {
 	for _, s := range show {
 		fmt.Fprintf(w, "--   %-28s mos %.2f (%s)  stall %-13s entries %-4d kept: %s\n",
 			s.ID, s.MOS, s.Verbal, s.Stall, s.Entries, strings.Join(s.Reasons, ","))
+	}
+}
+
+// printAlertSummary closes the run with the SLO alert view: every
+// rule that is not quietly inactive, worst state first, plus the
+// firing episodes that resolved during the run. A healthy stream
+// prints a single all-clear line.
+func printAlertSummary(w io.Writer, snap slo.AlertsSnapshot) {
+	var noisy []slo.Alert
+	for _, a := range snap.Alerts {
+		if a.StateCode != int(slo.Inactive) {
+			noisy = append(noisy, a)
+		}
+	}
+	if len(noisy) == 0 && len(snap.RecentResolved) == 0 {
+		fmt.Fprintf(w, "-- slo: all %d alert rules inactive\n", len(snap.Alerts))
+		return
+	}
+	fmt.Fprintf(w, "-- slo alerts (%d firing, %d pending):\n", snap.Firing, snap.Pending)
+	for _, a := range noisy {
+		fmt.Fprintf(w, "--   %-20s %-8s", a.Rule, a.State)
+		if a.Value != nil {
+			fmt.Fprintf(w, " value %.4g", *a.Value)
+		}
+		if a.Detail != "" {
+			fmt.Fprintf(w, "  %s", a.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, ep := range snap.RecentResolved {
+		fmt.Fprintf(w, "--   resolved %-11s fired %.0fs, peak %.4g  %s\n",
+			ep.Rule, ep.ResolvedAt-ep.StartedAt, ep.PeakValue, ep.Detail)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vqoe/internal/core"
 	"vqoe/internal/features"
@@ -199,6 +200,10 @@ type Rollup struct {
 	stripes []*stripe
 	gen     atomic.Uint64 // bumped on every observe; keys the cache
 
+	// lastObserveNano is the wall-clock time (unix nanos) of the most
+	// recent Observe — the freshness watchdog's rollup tap (0 = never).
+	lastObserveNano atomic.Int64
+
 	cacheMu  sync.Mutex
 	cacheGen uint64
 	cache    *Snapshot
@@ -251,6 +256,16 @@ func (r *Rollup) Observe(shard int, key Key, rep core.Report) {
 	c.observe(score, rep)
 	s.mu.Unlock()
 	r.gen.Add(1)
+	r.lastObserveNano.Store(time.Now().UnixNano())
+}
+
+// LastObserveUnixNano returns the wall-clock time of the most recent
+// Observe (0 = never).
+func (r *Rollup) LastObserveUnixNano() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.lastObserveNano.Load()
 }
 
 // evictLocked folds the least-recently-updated cohort into the

@@ -358,7 +358,15 @@ type ShardStats struct {
 	// Evicted counts sessions closed by the idle clock rather than an
 	// explicit §5.2 boundary entry.
 	Evicted int64
+	// LastWorkUnixNano is the wall-clock time the shard worker last
+	// finished a message (0 = never, or the engine runs without an
+	// observer — the tap rides the stage-histogram clock reading).
+	LastWorkUnixNano int64
 }
+
+// MailboxCap returns the configured per-shard mailbox capacity, the
+// denominator for mailbox-saturation monitoring.
+func (e *Engine) MailboxCap() int { return e.cfg.Mailbox }
 
 // Snapshot reads every shard's counters and gauges. Safe to call at
 // any time, including after Drain.
@@ -366,13 +374,14 @@ func (e *Engine) Snapshot() []ShardStats {
 	out := make([]ShardStats, len(e.shards))
 	for i, s := range e.shards {
 		out[i] = ShardStats{
-			Shard:   i,
-			Open:    int(s.open.Load()),
-			Mailbox: len(s.mail),
-			Events:  s.events.Load(),
-			Dropped: s.dropped.Load(),
-			Reports: s.reports.Load(),
-			Evicted: s.evicted.Load(),
+			Shard:            i,
+			Open:             int(s.open.Load()),
+			Mailbox:          len(s.mail),
+			Events:           s.events.Load(),
+			Dropped:          s.dropped.Load(),
+			Reports:          s.reports.Load(),
+			Evicted:          s.evicted.Load(),
+			LastWorkUnixNano: s.lastWork.Load(),
 		}
 	}
 	return out

@@ -97,6 +97,13 @@ type shard struct {
 	dropped atomic.Int64
 	reports atomic.Int64
 	evicted atomic.Int64
+
+	// lastWork is the wall-clock time (unix nanos) this worker last
+	// finished a message — the freshness watchdog's liveness tap. It
+	// reuses the clock reading the stage histograms already take, so
+	// it updates only on instrumented engines (cfg.Obs attached) and
+	// the uninstrumented hot path stays free of clock calls.
+	lastWork atomic.Int64
 }
 
 func newShard(id int, fw *core.Framework, cfg Config, sink func(Report), in *interner) *shard {
@@ -240,6 +247,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		}
 		if timed {
 			s.stages.ObserveSince(obs.StageIngest, tIngest)
+			s.lastWork.Store(tIngest.UnixNano())
 		}
 	}
 }

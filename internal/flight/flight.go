@@ -51,6 +51,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vqoe/internal/core"
 	"vqoe/internal/features"
@@ -321,6 +322,11 @@ type ShardRecorder struct {
 	evicted   atomic.Int64
 	truncated atomic.Int64
 	byReason  [NumReasons]atomic.Int64
+
+	// lastEvictNano is the wall-clock time (unix nanos) this shard
+	// last evicted a retained session for byte pressure — the SLO
+	// layer's retention-pressure tap (0 = never).
+	lastEvictNano atomic.Int64
 }
 
 // Discard records a session that closed below the assessment floor
@@ -424,7 +430,10 @@ func (s *ShardRecorder) retain(a Assessment, score float64, reasons Reason) {
 		}
 	}
 	s.mu.Unlock()
-	s.evicted.Add(int64(len(evicted)))
+	if len(evicted) > 0 {
+		s.evicted.Add(int64(len(evicted)))
+		s.lastEvictNano.Store(time.Now().UnixNano())
+	}
 }
 
 // exemplarLess is the worst-first exemplar order: lowest MOS, then

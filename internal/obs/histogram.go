@@ -103,3 +103,59 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 	s.Count += o.Count
 	s.Sum += o.Sum
 }
+
+// Sub returns the delta s - o, the observations recorded between the
+// older snapshot o and this one. Histograms only grow, so on a
+// consistent pair every field is non-negative; if a torn read makes a
+// bucket go backwards the delta is clamped to zero rather than
+// wrapping.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	for i := range s.Counts {
+		if s.Counts[i] > o.Counts[i] {
+			d.Counts[i] = s.Counts[i] - o.Counts[i]
+		}
+		d.Count += d.Counts[i]
+	}
+	if s.Sum > o.Sum {
+		d.Sum = s.Sum - o.Sum
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
+// interpolation within the bucket that holds the target rank, the same
+// estimate Prometheus's histogram_quantile produces. Observations in
+// the +Inf overflow bucket resolve to the highest finite bound. An
+// empty snapshot returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bucketBounds) {
+			// +Inf bucket: no finite upper edge to interpolate
+			// toward; report the largest finite bound.
+			return bucketBounds[len(bucketBounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}

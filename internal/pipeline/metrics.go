@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vqoe/internal/cohort"
 	"vqoe/internal/engine"
@@ -15,8 +16,13 @@ import (
 	"vqoe/internal/flight"
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
+	"vqoe/internal/slo"
 	"vqoe/internal/wire"
 )
+
+// processStart anchors vqoe_process_start_time_seconds: captured once
+// when the package loads, which for these binaries is process start.
+var processStart = time.Now()
 
 // Metrics aggregates the pipeline's output for operational monitoring.
 // It renders in the Prometheus text exposition format so an operator's
@@ -76,6 +82,16 @@ type Metrics struct {
 	// vqoe_flight_* families.
 	flightStats func() flight.MetricsSnapshot
 
+	// alertStats, when attached, supplies per-rule alert states and
+	// transition counters (typically slo.Engine.StateRows) for the
+	// vqoe_alert_* families.
+	alertStats func() []slo.StateRow
+
+	// procStart / procNow drive the process start-time and uptime
+	// gauges; tests pin both for byte-identical renders.
+	procStart time.Time
+	procNow   func() time.Time
+
 	// runtime controls whether process-introspection gauges
 	// (goroutines, heap, GC pauses) are appended to the exposition.
 	runtime bool
@@ -87,15 +103,21 @@ type Metrics struct {
 // gauges enabled.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		chunkP50: newStreamQ(0.5),
-		chunkP90: newStreamQ(0.9),
-		scoreP90: newStreamQ(0.9),
-		runtime:  true,
+		chunkP50:  newStreamQ(0.5),
+		chunkP90:  newStreamQ(0.9),
+		scoreP90:  newStreamQ(0.9),
+		runtime:   true,
+		procStart: processStart,
+		procNow:   time.Now,
 	}
 }
 
 // ObserveEntry counts a processed weblog entry.
 func (m *Metrics) ObserveEntry() { m.entriesTotal.Add(1) }
+
+// EntriesTotal reads the processed-entry counter (the serial path's
+// SLO throughput source; the sharded engine reads its own counters).
+func (m *Metrics) EntriesTotal() int64 { return m.entriesTotal.Load() }
 
 // ObserveEntries counts a batch of processed weblog entries.
 func (m *Metrics) ObserveEntries(n int) { m.entriesTotal.Add(int64(n)) }
@@ -146,6 +168,23 @@ func (m *Metrics) AttachCohorts(fn func() *cohort.Snapshot) {
 func (m *Metrics) AttachFlight(fn func() flight.MetricsSnapshot) {
 	m.mu.Lock()
 	m.flightStats = fn
+	m.mu.Unlock()
+}
+
+// AttachAlerts wires the SLO alert state machine into the exposition;
+// fn is usually (*slo.Engine).StateRows. Pass nil to detach.
+func (m *Metrics) AttachAlerts(fn func() []slo.StateRow) {
+	m.mu.Lock()
+	m.alertStats = fn
+	m.mu.Unlock()
+}
+
+// SetProcessClock pins the start time and wall clock behind the
+// process gauges so tests can assert byte-identical renders.
+func (m *Metrics) SetProcessClock(start time.Time, now func() time.Time) {
+	m.mu.Lock()
+	m.procStart = start
+	m.procNow = now
 	m.mu.Unlock()
 }
 
@@ -227,6 +266,11 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	e.family("vqoe_build_info", "Build metadata of the running binary (constant 1).", "gauge")
 	e.printf("vqoe_build_info{go_version=%q,version=%q} 1\n", bi.goVersion, bi.version)
 
+	e.family("vqoe_process_start_time_seconds", "Unix time the process started.", "gauge")
+	e.printf("vqoe_process_start_time_seconds %.3f\n", float64(m.procStart.UnixNano())/1e9)
+	e.family("vqoe_process_uptime_seconds", "Seconds since the process started.", "gauge")
+	e.printf("vqoe_process_uptime_seconds %.3f\n", m.procNow().Sub(m.procStart).Seconds())
+
 	e.family("vqoe_entries_total", "Weblog entries processed.", "counter")
 	e.printf("vqoe_entries_total %d\n", m.entriesTotal.Load())
 
@@ -270,6 +314,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if m.flightStats != nil {
 		m.writeFlight(e, m.flightStats())
+	}
+	if m.alertStats != nil {
+		m.writeAlerts(e, m.alertStats())
 	}
 	if e.err != nil {
 		return e.n, e.err
@@ -522,6 +569,29 @@ func (m *Metrics) writeFlight(e *expoWriter, s flight.MetricsSnapshot) {
 	e.printf("vqoe_flight_evicted_sessions_total %d\n", s.Evicted)
 	e.family("vqoe_flight_truncated_events_total", "Chunk events dropped by the per-session timeline cap.", "counter")
 	e.printf("vqoe_flight_truncated_events_total %d\n", s.TruncatedEvents)
+}
+
+// writeAlerts renders the SLO alert families. Rows arrive sorted by
+// rule; every rule pre-declares all four destination states in the
+// transition counter (sorted by label value) so series never appear
+// mid-flight and repeated renders of an idle manager are
+// byte-identical.
+func (m *Metrics) writeAlerts(e *expoWriter, rows []slo.StateRow) {
+	if len(rows) == 0 {
+		return
+	}
+	e.family("vqoe_alert_state", "Alert state per SLO rule (0=inactive, 1=pending, 2=firing, 3=resolved).", "gauge")
+	for _, r := range rows {
+		e.printf("vqoe_alert_state{rule=%q} %d\n", r.Rule, r.State)
+	}
+	// destination states in sorted label order
+	dests := []slo.State{slo.Firing, slo.Inactive, slo.Pending, slo.Resolved}
+	e.family("vqoe_alert_transitions_total", "Alert state transitions per SLO rule, by destination state.", "counter")
+	for _, r := range rows {
+		for _, d := range dests {
+			e.printf("vqoe_alert_transitions_total{rule=%q,to=%q} %d\n", r.Rule, d.String(), r.Transitions[d])
+		}
+	}
 }
 
 // sortedIdx returns the index permutation that visits names in sorted

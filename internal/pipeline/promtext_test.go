@@ -395,6 +395,9 @@ func TestExpositionValid(t *testing.T) {
 		"vqoe_flight_retained_by_reason_total", "vqoe_flight_resident_sessions",
 		"vqoe_flight_retained_bytes", "vqoe_flight_capacity_bytes",
 		"vqoe_flight_evicted_sessions_total", "vqoe_flight_truncated_events_total",
+		// process identity and the SLO alert state machine (always on)
+		"vqoe_process_start_time_seconds", "vqoe_process_uptime_seconds",
+		"vqoe_alert_state", "vqoe_alert_transitions_total",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing from exposition", want)

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"vqoe/internal/cohort"
 	"vqoe/internal/core"
@@ -18,6 +19,7 @@ import (
 	"vqoe/internal/obs"
 	"vqoe/internal/qualitymon"
 	"vqoe/internal/sessionizer"
+	"vqoe/internal/slo"
 	"vqoe/internal/weblog"
 	"vqoe/internal/wire"
 )
@@ -55,6 +57,11 @@ import (
 //	                       it as Chrome trace_event JSON.
 //	GET  /debug/sessions/{subscriber} — one subscriber's open sessions
 //	                       (404 when none are open).
+//	GET  /debug/timeseries — sparkline-ready metric history: the SLO
+//	                       sampler's per-series rings with min/max/avg
+//	                       roll-ups (?n= caps returned points).
+//	GET  /debug/alerts   — SLO alert states, worst first: firing and
+//	                       pending rules plus recently resolved ones.
 //	GET  /debug/pprof/   — net/http/pprof, only with Options.Pprof.
 //
 // Server is safe for concurrent use. /ingest routes through the
@@ -69,7 +76,10 @@ type Server struct {
 	eng     *engine.Engine
 	obs     *obs.Observer
 	flight  *flight.Recorder
+	slo     *slo.Engine
 	opts    Options
+
+	wireSLO sync.Once
 }
 
 // Options tunes the server beyond the engine layout.
@@ -110,6 +120,13 @@ type Options struct {
 	// engine's shard count; set Disabled to turn recording off
 	// entirely (zero hot-path cost).
 	Flight flight.Config
+	// SLO tunes the metric-history sampler and alert rule engine
+	// behind /debug/timeseries and /debug/alerts (zero fields take slo
+	// defaults: 1s cadence, ~68min of history, SRE-workbook burn-rate
+	// objectives). The subsystem is always on — it reads counters the
+	// pipeline already maintains, so its steady-state cost is one
+	// snapshot sweep per cadence tick, nothing on the ingest hot path.
+	SLO slo.Config
 }
 
 // NewServer wraps a trained framework with the default engine layout
@@ -167,6 +184,15 @@ func NewServerOpts(fw *core.Framework, opts Options) *Server {
 	if rec != nil {
 		s.metrics.AttachFlight(rec.Metrics)
 	}
+	s.slo = NewSLO(opts.SLO, SLOParts{
+		Engine:  s.eng,
+		Stages:  s.obs.StageSnapshots,
+		Quality: qm,
+		Cohorts: ecfg.Cohorts,
+		Flight:  rec,
+	})
+	s.metrics.AttachAlerts(s.slo.StateRows)
+	s.slo.Start()
 	return s
 }
 
@@ -202,6 +228,10 @@ func className(names []string, i int) string {
 // Flight exposes the session flight recorder (nil when disabled).
 func (s *Server) Flight() *flight.Recorder { return s.flight }
 
+// SLO exposes the metric-history sampler and alert engine (for tests
+// and embedders that drive a Manual clock or read the closing states).
+func (s *Server) SLO() *slo.Engine { return s.slo }
+
 // Metrics exposes the collector (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
@@ -210,8 +240,11 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Drain flushes the engine's open sessions for graceful shutdown and
-// returns their final reports (also recorded in the metrics).
+// returns their final reports (also recorded in the metrics). It also
+// stops the SLO sampler: alert states freeze at their final values for
+// the closing summary.
 func (s *Server) Drain() []SessionReport {
+	s.slo.Close()
 	var out []SessionReport
 	for _, r := range s.eng.Drain() {
 		rep := fromEngine(r)
@@ -255,6 +288,10 @@ func (s *Server) NewWireServer() *wire.Server {
 		Stages:  true,
 	})
 	s.metrics.AttachWire(ws.Snapshot)
+	// first wire server also feeds the SLO sampler (series registered
+	// mid-flight backfill as missing samples); additional listeners
+	// share the engine but not separate SLO series
+	s.wireSLO.Do(func() { AttachWireSLO(s.slo, ws) })
 	return ws
 }
 
@@ -283,6 +320,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
 	mux.HandleFunc("GET /debug/flight/{subscriber}/{session}", s.handleDebugFlightSession)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/timeseries", s.handleDebugTimeseries)
+	mux.HandleFunc("GET /debug/alerts", s.handleDebugAlerts)
 	if s.opts.Pprof {
 		obs.RegisterPprof(mux)
 	}
@@ -353,7 +392,7 @@ func (s *Server) handleDebugFlightSession(w http.ResponseWriter, r *http.Request
 			writeJSONError(w, http.StatusNotFound, "no retained flight session "+sub+"/"+sessKey)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		setJSONHeaders(w)
 		_ = obs.WriteChromeEvents(w, evs)
 		return
 	}
@@ -363,6 +402,27 @@ func (s *Server) handleDebugFlightSession(w http.ResponseWriter, r *http.Request
 		return
 	}
 	writeJSON(w, sess)
+}
+
+// defaultTimeseriesPoints caps /debug/timeseries responses unless the
+// caller asks for more (?n=0 returns everything retained).
+const defaultTimeseriesPoints = 240
+
+func (s *Server) handleDebugTimeseries(w http.ResponseWriter, r *http.Request) {
+	n := defaultTimeseriesPoints
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSONError(w, http.StatusBadRequest, "n must be a non-negative integer (0 = all retained points)")
+			return
+		}
+		n = v
+	}
+	writeJSON(w, s.slo.Timeseries(n))
+}
+
+func (s *Server) handleDebugAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.slo.Alerts())
 }
 
 func (s *Server) handleDebugQuality(w http.ResponseWriter, r *http.Request) {
@@ -427,7 +487,7 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	setJSONHeaders(w)
 	_ = obs.WriteChromeTrace(w, s.obs.TraceEvents())
 }
 
@@ -484,9 +544,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 // IngestResponse is the JSON shape of /ingest results. The label
-// fields appear when the request carried "type":"label" lines.
+// fields appear when the request carried "type":"label" lines;
+// Dropped appears for ?mode=shed requests that actually shed.
 type IngestResponse struct {
 	Accepted       int            `json:"accepted"`
+	Dropped        int            `json:"dropped,omitempty"`
 	Reports        []IngestReport `json:"reports"`
 	LabelsAccepted int            `json:"labels_accepted,omitempty"`
 	LabelsMatched  int            `json:"labels_matched,omitempty"`
@@ -510,18 +572,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := IngestResponse{Accepted: len(entries), Reports: []IngestReport{}}
+	resp := IngestResponse{Reports: []IngestReport{}}
 	resp.LabelsAccepted = len(labels)
-	s.metrics.ObserveEntries(len(entries))
-	for _, r := range s.eng.Ingest(entries) {
-		rep := fromEngine(r)
-		s.metrics.ObserveReport(rep)
-		resp.Reports = append(resp.Reports, IngestReport{
-			Subscriber: rep.Subscriber,
-			Start:      rep.Start,
-			End:        rep.End,
-			Assessment: toResponse(rep.Report),
-		})
+	switch r.URL.Query().Get("mode") {
+	case "", "sync":
+		resp.Accepted = len(entries)
+		s.metrics.ObserveEntries(len(entries))
+		for _, r := range s.eng.Ingest(entries) {
+			rep := fromEngine(r)
+			s.metrics.ObserveReport(rep)
+			resp.Reports = append(resp.Reports, IngestReport{
+				Subscriber: rep.Subscriber,
+				Start:      rep.Start,
+				End:        rep.End,
+				Assessment: toResponse(rep.Report),
+			})
+		}
+	case "shed":
+		// best-effort delivery: full mailboxes shed their slice of the
+		// batch instead of blocking the client (the drop-rate SLO rule
+		// watches exactly this counter). Reports for completed sessions
+		// flow through the async report path, not this response.
+		resp.Accepted = s.eng.Offer(entries)
+		resp.Dropped = len(entries) - resp.Accepted
+		s.metrics.ObserveEntries(resp.Accepted)
+	default:
+		writeJSONError(w, http.StatusBadRequest, "unknown mode (want sync or shed)")
+		return
 	}
 	// labels observe after ingest so a request carrying a session and
 	// its own label can still match
@@ -582,8 +659,17 @@ func decodeJSONL(r *http.Request) ([]weblog.Entry, []qualitymon.Label, error) {
 	return out, labels, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// setJSONHeaders marks a response as JSON and uncacheable. Every JSON
+// endpoint is a live snapshot — a cached /debug/alerts or /debug/
+// sessions body is worse than none, so the whole debug API opts out of
+// intermediary and browser caches.
+func setJSONHeaders(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	setJSONHeaders(w)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -591,7 +677,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // API speaks JSON consistently (404s included) instead of http.Error's
 // text/plain.
 func writeJSONError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
+	setJSONHeaders(w)
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

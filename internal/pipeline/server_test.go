@@ -107,6 +107,46 @@ func TestServerIngestStream(t *testing.T) {
 	}
 }
 
+// TestServerIngestShedMode pins the best-effort ingest variant:
+// ?mode=shed delivers what fits and reports what it shed instead of
+// blocking, an unknown mode is a JSON 400, and accepted+dropped
+// always reconciles with the request.
+func TestServerIngestShedMode(t *testing.T) {
+	fw, study := testFramework(t)
+	srv := NewServer(fw)
+	defer srv.SLO().Close()
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest?mode=shed", entriesJSONL(t, study.Stream)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted+resp.Dropped != len(study.Stream) {
+		t.Errorf("accepted %d + dropped %d != %d offered",
+			resp.Accepted, resp.Dropped, len(study.Stream))
+	}
+	if resp.Accepted == 0 {
+		t.Error("idle engine shed the entire batch")
+	}
+	if len(resp.Reports) != 0 {
+		t.Errorf("shed mode returned %d synchronous reports, want none", len(resp.Reports))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest?mode=banana", entriesJSONL(t, study.Stream[:1])))
+	if rec.Code != 400 {
+		t.Errorf("unknown mode → %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("unknown-mode error Content-Type %q, want application/json", ct)
+	}
+}
+
 func TestServerHealthz(t *testing.T) {
 	fw, _ := testFramework(t)
 	h := NewServer(fw).Handler()

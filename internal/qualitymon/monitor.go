@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vqoe/internal/obs"
 )
@@ -126,6 +127,11 @@ type Monitor struct {
 	labelsMatched atomic.Int64
 	labelsEvicted atomic.Int64
 	predsEvicted  atomic.Int64
+
+	// lastLabelNano is the wall-clock time (unix nanos) the monitor
+	// last received a ground-truth label — the freshness watchdog's
+	// "silent upstream" tap (0 = never).
+	lastLabelNano atomic.Int64
 
 	// outcome, when set, receives every resolved (prediction, label)
 	// pair — the flight recorder uses it to promote retained sessions
@@ -253,6 +259,7 @@ func (m *Monitor) ObserveLabel(l Label) bool {
 		return false
 	}
 	m.labelsTotal.Add(1)
+	m.lastLabelNano.Store(time.Now().UnixNano())
 	st := m.stripe(l.Subscriber)
 	st.mu.Lock()
 	if i := bestPredMatch(st.preds, l.Subscriber, l.Start, l.End); i >= 0 {
@@ -269,6 +276,15 @@ func (m *Monitor) ObserveLabel(l Label) bool {
 	st.labels = append(st.labels, l)
 	st.mu.Unlock()
 	return false
+}
+
+// LastLabelUnixNano returns the wall-clock time the monitor last
+// received a ground-truth label (0 = never).
+func (m *Monitor) LastLabelUnixNano() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.lastLabelNano.Load()
 }
 
 // SetOutcomeHook installs a callback invoked for every resolved

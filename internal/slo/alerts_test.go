@@ -1,0 +1,229 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// scriptedRule breaches according to a preset schedule.
+type scripted struct {
+	breach []bool
+	tick   int
+}
+
+func (s *scripted) rule(name string, forSec, clearSec float64) Rule {
+	return Rule{
+		Name: name, ForSec: forSec, ClearForSec: clearSec,
+		Eval: func(h *History, now float64) (float64, bool, string) {
+			b := s.breach[s.tick%len(s.breach)]
+			s.tick++
+			v := 0.0
+			if b {
+				v = float64(s.tick)
+			}
+			return v, b, "scripted"
+		},
+	}
+}
+
+func states(m *Manager, h *History, seq []bool, forSec, clearSec float64) []State {
+	s := &scripted{breach: seq}
+	m.AddRule(s.rule("r", forSec, clearSec))
+	var out []State
+	for i := range seq {
+		m.Evaluate(h, float64(i))
+		out = append(out, m.StateRows()[0].State)
+	}
+	return out
+}
+
+// TestAlertLifecycleBasic walks one breach episode end to end.
+func TestAlertLifecycleBasic(t *testing.T) {
+	h := NewHistory(4)
+	var log bytes.Buffer
+	m := NewManager(&log)
+	// breach for 6 ticks, clear for 6. for=2s, clearFor=2s, 1 tick/s.
+	seq := []bool{true, true, true, true, true, true, false, false, false, false, false, false}
+	got := states(m, h, seq, 2, 2)
+	want := []State{
+		Pending, Pending, Firing, Firing, Firing, Firing, // fires once breach held 2s
+		Firing, Firing, Resolved, Resolved, Resolved, Resolved, // resolves once clear held 2s
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d: state %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// The JSONL log must show the exact transition sequence.
+	var tos []string
+	for _, line := range strings.Split(strings.TrimSpace(log.String()), "\n") {
+		var tr Transition
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		tos = append(tos, tr.From+">"+tr.To)
+	}
+	wantLog := []string{"inactive>pending", "pending>firing", "firing>resolved"}
+	if len(tos) != len(wantLog) {
+		t.Fatalf("log transitions %v, want %v", tos, wantLog)
+	}
+	for i := range wantLog {
+		if tos[i] != wantLog[i] {
+			t.Fatalf("log transitions %v, want %v", tos, wantLog)
+		}
+	}
+}
+
+// TestAlertTransitionsProperty drives the state machine with random
+// breach/clear sequences and asserts the invariants the ISSUE pins:
+// Firing is only ever entered from Pending (never skipped), the
+// for-duration is honored (a breach run shorter than ForSec never
+// fires), resolve requires a sustained clear, and resolved alerts
+// retain the last firing snapshot.
+func TestAlertTransitionsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		forSec := float64(rng.Intn(5))
+		clearSec := float64(1 + rng.Intn(4))
+		n := 60 + rng.Intn(120)
+		seq := make([]bool, n)
+		for i := range seq {
+			// Random runs: flip with p=0.25 so runs straddle ForSec.
+			if i == 0 {
+				seq[i] = rng.Intn(2) == 0
+			} else if rng.Float64() < 0.25 {
+				seq[i] = !seq[i-1]
+			} else {
+				seq[i] = seq[i-1]
+			}
+		}
+		h := NewHistory(4)
+		m := NewManager(nil)
+		sc := &scripted{breach: seq}
+		m.AddRule(sc.rule("r", forSec, clearSec))
+
+		prev := Inactive
+		var breachRun, clearRun float64
+		for i := range seq {
+			m.Evaluate(h, float64(i))
+			cur := m.StateRows()[0].State
+			if seq[i] {
+				breachRun++
+				clearRun = 0
+			} else {
+				clearRun++
+				breachRun = 0
+			}
+			if cur != prev {
+				// Legal transitions only; Firing entered solely from
+				// Pending.
+				legal := map[[2]State]bool{
+					{Inactive, Pending}:  true,
+					{Pending, Inactive}:  true,
+					{Pending, Firing}:    true,
+					{Firing, Resolved}:   true,
+					{Resolved, Pending}:  true,
+					{Resolved, Inactive}: true,
+				}
+				if !legal[[2]State{prev, cur}] {
+					t.Fatalf("trial %d tick %d: illegal transition %v -> %v", trial, i, prev, cur)
+				}
+				if cur == Firing {
+					// for-duration honored: the breach must have been
+					// held at least ForSec (>= forSec+1 consecutive
+					// breach ticks at 1s cadence).
+					if breachRun < forSec+1 {
+						t.Fatalf("trial %d tick %d: fired after %v breach ticks, for=%v",
+							trial, i, breachRun, forSec)
+					}
+				}
+				if cur == Resolved {
+					if clearRun < clearSec+1 {
+						t.Fatalf("trial %d tick %d: resolved after %v clear ticks, clearFor=%v",
+							trial, i, clearRun, clearSec)
+					}
+					// Resolved alerts retain the last-firing snapshot.
+					snap := m.Snapshot(float64(i))
+					var found *Alert
+					for j := range snap.Alerts {
+						if snap.Alerts[j].Rule == "r" {
+							found = &snap.Alerts[j]
+						}
+					}
+					if found == nil || found.LastFiring == nil {
+						t.Fatalf("trial %d tick %d: resolved alert lost its firing record", trial, i)
+					}
+					if found.LastFiring.ResolvedAt != float64(i) {
+						t.Fatalf("trial %d: resolved_at = %v, want %v",
+							trial, found.LastFiring.ResolvedAt, float64(i))
+					}
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestAlertSnapshotOrdering pins worst-first: firing > pending >
+// resolved > inactive, ties by since then name.
+func TestAlertSnapshotOrdering(t *testing.T) {
+	h := NewHistory(4)
+	m := NewManager(nil)
+	mk := func(name string, breach []bool) {
+		s := &scripted{breach: breach}
+		m.AddRule(s.rule(name, 1, 1))
+	}
+	mk("b-firing", []bool{true, true, true, true})
+	mk("a-firing", []bool{true, true, true, true})
+	mk("c-pending", []bool{false, false, false, true})
+	mk("d-inactive", []bool{false, false, false, false})
+	for i := 0; i < 4; i++ {
+		m.Evaluate(h, float64(i))
+	}
+	snap := m.Snapshot(4)
+	var order []string
+	for _, a := range snap.Alerts {
+		order = append(order, a.Rule)
+	}
+	want := []string{"a-firing", "b-firing", "c-pending", "d-inactive"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if snap.Firing != 2 || snap.Pending != 1 {
+		t.Fatalf("firing/pending = %d/%d, want 2/1", snap.Firing, snap.Pending)
+	}
+}
+
+// TestAlertPeakTracking checks the firing record carries the episode's
+// worst value.
+func TestAlertPeakTracking(t *testing.T) {
+	h := NewHistory(4)
+	m := NewManager(nil)
+	vals := []float64{1, 5, 9, 3, math.NaN(), 2}
+	i := 0
+	m.AddRule(Rule{
+		Name: "peak", ForSec: 0, ClearForSec: 1,
+		Eval: func(*History, float64) (float64, bool, string) {
+			v := vals[i%len(vals)]
+			i++
+			return v, i <= len(vals), "ep"
+		},
+	})
+	for tick := 0; tick <= len(vals)+3; tick++ {
+		m.Evaluate(h, float64(tick))
+	}
+	snap := m.Snapshot(100)
+	a := snap.Alerts[0]
+	if a.LastFiring == nil {
+		t.Fatal("no firing record")
+	}
+	if a.LastFiring.PeakValue != 9 {
+		t.Fatalf("peak = %v, want 9", a.LastFiring.PeakValue)
+	}
+}

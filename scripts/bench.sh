@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance suite and emit BENCH_PR9.json.
+# bench.sh — run the performance suite and emit BENCH_PR10.json.
 #
 # Covers the layers the perf-sensitive PRs touch:
 #   - internal/ml forest benchmarks (flat vs pointer walk, batch
@@ -26,6 +26,10 @@
 #     gets its own invocation
 #     with a fixed -benchtime=30x: the default 1s budget would stop at
 #     2-3 pairs, far too few for a stable median on a noisy host.
+#   - the SLO subsystem paired on/off benchmark (same methodology;
+#     the on arm runs the sampler at 100x the production cadence so a
+#     short timed feed still contains snapshot ticks — the reported
+#     overhead% must stay <= 2 even at that exaggerated rate)
 #
 # Ordering matters on burstable cloud hosts: the paired on/off
 # benchmarks (FlightOverhead, CohortRollupOverhead) run FIRST, while
@@ -52,12 +56,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "== flight recorder paired overhead benchmark" >&2
 go test -run xxx -bench 'FlightOverhead$' -benchtime=30x \
+    -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
+
+echo "== slo paired overhead benchmark" >&2
+go test -run xxx -bench 'SLOOverhead$' -benchtime=30x \
     -benchmem -count=1 -timeout 30m . | tee -a "$tmp" >&2
 
 echo "== cohort rollup paired overhead benchmark" >&2

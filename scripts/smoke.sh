@@ -202,6 +202,66 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/flight/nobody/123.5")
 test "$CODE" = 404 || { echo "unknown flight session returned $CODE" >&2; exit 1; }
 echo "   drill-down chain ok"
 
+echo "== slo: metric history, alert table, exposition"
+# the sampler runs at 1 Hz; by now it has ticked many times, so the
+# timeseries document must carry populated rings for the core series
+sleep 2
+curl -fsS "$BASE/debug/timeseries" >"$TMP/timeseries.json"
+python3 - "$TMP/timeseries.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["cadence_sec"] > 0, "no sampler cadence"
+assert doc["samples"] > 0, "sampler never ticked"
+assert len(doc["times"]) == doc["samples"], "times/samples mismatch"
+names = {s["name"] for s in doc["series"]}
+for want in ("ingest.entries", "ingest.dropped", "engine.open_sessions",
+             "fresh.ingest_age_seconds", "model.max_psi",
+             "cohort.worst_p50_mos", "flight.bytes_util"):
+    assert want in names, f"timeseries lacks series {want}: {sorted(names)}"
+for s in doc["series"]:
+    assert s["kind"] in ("counter", "gauge"), s
+    assert len(s["values"]) == doc["samples"], f"{s['name']} ragged ring"
+ent = next(s for s in doc["series"] if s["name"] == "ingest.entries")
+assert ent["last"] is not None and ent["last"] >= 0, "entry rate ring empty"
+assert any(q["name"] == "stage.ingest" for q in doc.get("quantiles", [])), \
+    "no stage.ingest quantile track"
+print(f"   {len(doc['series'])} series x {doc['samples']} samples ok")
+PY
+# ?n= caps the points; a bad n is a JSON 400
+curl -fsS "$BASE/debug/timeseries?n=2" | python3 -c "import json,sys; d=json.load(sys.stdin); assert len(d['times']) <= 2, d['times']"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/timeseries?n=bogus")
+test "$CODE" = 400 || { echo "bad ?n= returned $CODE, want 400" >&2; exit 1; }
+curl -fsS "$BASE/debug/alerts" >"$TMP/alerts.json"
+python3 - "$TMP/alerts.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+alerts = doc["alerts"]
+assert alerts, "no alert rules installed"
+names = {a["rule"] for a in alerts}
+for want in ("drop-rate", "mailbox-saturation", "ingest-latency-p99",
+             "model-degraded", "cohort-mos-floor", "ingest-stale",
+             "wire-errors"):
+    assert want in names, f"missing built-in rule {want}: {sorted(names)}"
+ranks = {"firing": 3, "pending": 2, "resolved": 1, "inactive": 0}
+for a in alerts:
+    assert a["state"] in ranks, a
+order = [ranks[a["state"]] for a in alerts]
+assert order == sorted(order, reverse=True), "alert table not worst-first"
+print(f"   {len(alerts)} rules ({doc['firing']} firing, {doc['pending']} pending)")
+PY
+curl -fsS "$BASE/metrics" >"$TMP/slo-metrics.txt"
+for family in \
+    vqoe_alert_state \
+    vqoe_alert_transitions_total \
+    vqoe_process_start_time_seconds \
+    vqoe_process_uptime_seconds; do
+    grep -q "^$family" "$TMP/slo-metrics.txt" ||
+        { echo "missing family $family" >&2; exit 1; }
+done
+grep -q '^vqoe_alert_state{rule="drop-rate"}' "$TMP/slo-metrics.txt" ||
+    { echo "vqoe_alert_state lacks the drop-rate rule" >&2; exit 1; }
+echo "   slo surface ok"
+
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 echo "== smoke ok"
